@@ -1,0 +1,56 @@
+"""Ablation — oracle deadline-slack sensitivity.
+
+The paper fixes the per-lag deadline at 110% of the fastest frequency's
+lag ("we assume that the user does not notice a 10% difference").  This
+bench sweeps the slack factor and shows the trade: more slack lets the
+oracle pick lower lag frequencies, monotonically reducing its energy.
+"""
+
+from repro.harness.sweep import compose_oracle_from_runs
+from repro.oracle.builder import build_oracle
+
+
+def test_oracle_slack_sweep(benchmark, sweep_ds02, artifacts_ds02):
+    table = sweep_ds02.table
+    fixed_profiles = {
+        khz: sweep_ds02.runs[f"fixed:{khz}"][0].lag_profile
+        for khz in table.frequencies_khz
+    }
+    fixed_busy = {
+        khz: sweep_ds02.runs[f"fixed:{khz}"][0].busy_timeline
+        for khz in table.frequencies_khz
+    }
+    fixed_energy = {
+        khz: sweep_ds02.mean_energy_j(f"fixed:{khz}")
+        for khz in table.frequencies_khz
+    }
+    from repro.device.power import PowerModel
+
+    model = PowerModel()
+
+    def oracle_for(slack):
+        return build_oracle(
+            fixed_profiles,
+            fixed_busy,
+            fixed_energy,
+            duration_us=artifacts_ds02.duration_us,
+            table=table,
+            power_model=model,
+            slack=slack,
+        )
+
+    benchmark(oracle_for, 1.10)
+
+    energies = {}
+    for slack in (1.0, 1.05, 1.10, 1.25, 1.5):
+        oracle = oracle_for(slack)
+        energies[slack] = oracle.energy_j
+
+    print("\nAblation: oracle slack factor (Dataset 02)")
+    for slack, energy in energies.items():
+        print(f"  slack {slack:4.2f}: {energy:7.2f} J")
+
+    ordered = [energies[s] for s in sorted(energies)]
+    assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # The paper's 1.10 slack sits strictly between the extremes.
+    assert energies[1.5] < energies[1.10] <= energies[1.0]

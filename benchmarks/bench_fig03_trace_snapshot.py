@@ -1,0 +1,23 @@
+"""Fig. 3 — ondemand vs oracle frequency trace around one input.
+
+The paper's motivating snapshot: ondemand alternates between extreme
+frequencies while the oracle raises once and holds just long enough.
+"""
+
+from repro.harness import figures
+
+
+def test_fig3_snapshot(benchmark, sweep_ds02):
+    snapshot = benchmark(figures.fig3_series, sweep_ds02)
+    print("\nFig. 3 — ondemand vs oracle around one interaction")
+    print(figures.render_fig3(snapshot))
+
+    assert snapshot.input_time_s < snapshot.serviced_time_s
+    governor_freqs = {ghz for _t, ghz in snapshot.governor_series}
+    oracle_freqs = {ghz for _t, ghz in snapshot.oracle_series}
+    # Shape: ondemand uses multiple levels incl. the maximum; the oracle
+    # holds fewer, lower levels around the lag (its base + lag choice).
+    assert len(governor_freqs) >= 2
+    assert max(governor_freqs) == 2.1504
+    assert max(oracle_freqs) <= max(governor_freqs)
+    assert len(oracle_freqs) <= len(governor_freqs)

@@ -1,0 +1,42 @@
+"""Fig. 7 + §II-D — the suggester on the Gallery-launch lag.
+
+Reproduces the paper's worked example: the Gallery loading its screen
+element by element at the lowest frequency, the 0/1 change string, 8-10
+suggested ending frames, and the ~20x reduction in frames a user must
+inspect.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return figures.fig7_suggester_demo()
+
+
+def test_fig7_suggester_demo(benchmark, demo):
+    result = benchmark.pedantic(
+        figures.fig7_suggester_demo, rounds=2, iterations=1
+    )
+    print("\nFig. 7 — suggester on the Gallery launch at 0.30 GHz")
+    print(figures.render_fig7(result))
+
+    # Paper: "leads to 8 to 10 suggested images".
+    assert 7 <= len(result.suggested_frames) <= 11
+    # Paper: "the number of frames the user has to look at is therefore
+    # reduced by a factor of 20".
+    assert result.reduction_factor > 15
+    # The ground-truth ending is among (and is the last of) the candidates.
+    assert result.ground_truth_end_frame in result.suggested_frames
+
+
+def test_fig7_loading_duration_matches_paper(benchmark, demo):
+    """Paper: 'Loading the Gallery takes about 200 frames at the lowest
+    CPU frequency (about 6 seconds at 30 fps)'."""
+    benchmark(figures.collapse_change_string, demo.change_string)
+    loading_frames = demo.ground_truth_end_frame - demo.input_frame
+    print(f"\nGallery load at 0.30 GHz: {loading_frames} frames "
+          f"({loading_frames / 30:.1f} s)")
+    assert 150 <= loading_frames <= 250

@@ -1,0 +1,43 @@
+"""Fig. 11 — violin plots of lag durations per configuration (Dataset 01).
+
+The paper's observations: lags shrink as the fixed frequency rises and
+"settle on an average lag length the higher the frequency gets";
+conservative's lags are significantly longer while interactive and
+ondemand are close together; the longest lags (~12-13 s at the lowest
+frequency) come from saving edited images to the SD card.
+"""
+
+from repro.harness import figures
+from repro.metrics.distribution import kernel_density, summarize_lags
+
+
+def test_fig11_distributions(benchmark, sweep_ds01):
+    durations = sweep_ds01.pooled_lag_durations_ms("ondemand")
+    summary = benchmark(summarize_lags, durations)
+
+    print("\nFig. 11 — lag duration distributions (Dataset 01)")
+    print(figures.render_fig11(sweep_ds01))
+
+    rows = figures.fig11_rows(sweep_ds01)
+    means = [rows[label].mean_ms for label in rows if "GHz" in label]
+    # Monotone-ish decrease of mean lag with frequency.
+    assert means[0] == max(means)
+    assert means[-1] == min(means)
+    # Conservative lags longer than interactive and ondemand.
+    assert rows["conservative"].mean_ms > rows["interactive"].mean_ms
+    assert rows["conservative"].mean_ms > rows["ondemand"].mean_ms
+    # The occasional very long save lag at the lowest frequency.
+    assert rows["0.30 GHz"].max_ms > 8_000
+    assert summary.count == len(durations)
+
+
+def test_fig11_ondemand_kernel_density(benchmark, sweep_ds01):
+    """The inset kernel plot: 'with an average of about 500ms, most of
+    the lags are rather short'."""
+    durations = sweep_ds01.pooled_lag_durations_ms("ondemand")
+    grid, density = benchmark(kernel_density, durations)
+    mode_ms = float(grid[density.argmax()])
+    mean_ms = sum(durations) / len(durations)
+    print(f"\nondemand lag KDE: mode={mode_ms:.0f} ms mean={mean_ms:.0f} ms")
+    assert mode_ms < 1_500
+    assert mean_ms < 1_500

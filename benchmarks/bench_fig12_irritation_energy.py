@@ -1,0 +1,50 @@
+"""Fig. 12 — user irritation and energy per configuration (Dataset 02).
+
+The paper's key per-dataset result: irritation shrinks rapidly with
+frequency; energy is U-shaped over the fixed frequencies with its optimum
+at 0.96 GHz due to race-to-idle; conservative saves energy but irritates;
+interactive and ondemand stay within ~1 s of the oracle's irritation but
+burn ~20-35% more energy.
+"""
+
+from repro.harness import figures
+from repro.harness.experiment import replay_run
+
+
+def test_fig12_rows(benchmark, sweep_ds02, artifacts_ds02):
+    # The workhorse being timed: one full replay+capture+match run.
+    result = benchmark.pedantic(
+        lambda: replay_run(artifacts_ds02, "ondemand", rep=0),
+        rounds=2,
+        iterations=1,
+    )
+    print("\nFig. 12 — irritation and energy per configuration (Dataset 02)")
+    print(figures.render_fig12(sweep_ds02))
+
+    oracle = sweep_ds02.oracle
+    norm = sweep_ds02.energy_normalised_to_oracle
+    irritation = sweep_ds02.mean_irritation_s
+
+    # --- energy shape (paper right graph) --------------------------------
+    fixed = [f"fixed:{khz}" for khz in sweep_ds02.table.frequencies_khz]
+    energies = [norm(config) for config in fixed]
+    # U-shape with minimum at 0.96 GHz, ~0.85x oracle (paper: 0.85-0.86).
+    best_index = energies.index(min(energies))
+    assert sweep_ds02.table.frequencies_khz[best_index] == 960_000
+    assert 0.75 < min(energies) < 0.95
+    # Highest fixed frequency ~1.4-1.6x oracle (paper: 1.47).
+    assert 1.3 < energies[-1] < 1.7
+    # Conservative cheaper than oracle; interactive/ondemand ~1.2-1.4x.
+    assert norm("conservative") < 1.0
+    assert 1.1 < norm("interactive") < 1.5
+    assert 1.1 < norm("ondemand") < 1.5
+
+    # --- irritation shape (paper left graph) ------------------------------
+    assert irritation("fixed:300000") > 20  # lowest frequency irritates
+    assert irritation("fixed:2150400") < 0.5
+    assert oracle.irritation().total_seconds < 0.5
+    # Conservative is by far the most irritating governor.
+    assert irritation("conservative") > 10
+    assert irritation("interactive") < 1.0
+    assert irritation("ondemand") < 1.5
+    assert result.dynamic_energy_j > 0

@@ -1,0 +1,36 @@
+"""Fig. 13 — the energy/irritation plane (Dataset 02).
+
+The paper's reading of this scatter: interactive and ondemand hug the
+zero-irritation baseline but waste energy; conservative is cheap but
+irritating; and mid fixed frequencies (1.50/1.57 GHz) beat all standard
+governors, being only slightly more irritating than the oracle.
+"""
+
+from repro.harness import figures
+
+
+def test_fig13_scatter(benchmark, sweep_ds02):
+    points = benchmark(figures.fig13_rows, sweep_ds02)
+    print("\nFig. 13 — energy vs irritation (Dataset 02)")
+    print(figures.render_fig13(sweep_ds02))
+
+    by_label = {label: (energy, irritation) for label, _k, energy, irritation in points}
+
+    oracle_energy, oracle_irritation = by_label["oracle"]
+    # Oracle and the fastest frequency sit on the irritation base line.
+    assert oracle_irritation < 0.5
+    assert by_label["2.15 GHz"][1] < 0.5
+
+    # Mid fixed frequencies dominate every governor on energy while being
+    # only slightly more irritating than the oracle.
+    for mid in ("1.50 GHz", "1.57 GHz"):
+        mid_energy, mid_irritation = by_label[mid]
+        for governor in ("interactive", "ondemand"):
+            assert mid_energy < by_label[governor][0]
+        assert mid_irritation < 2.0
+
+    # Conservative: cheapest governor, most irritating.
+    conservative_energy, conservative_irritation = by_label["conservative"]
+    assert conservative_energy < by_label["interactive"][0]
+    assert conservative_irritation > by_label["interactive"][1]
+    assert conservative_irritation > by_label["ondemand"][1]

@@ -1,0 +1,42 @@
+"""Fig. 14 — energy and irritation summary across all five datasets.
+
+Paper: "The Conservative governor's energy consumption is on average 8%
+better than the oracle.  Interactive and Ondemand need on average 22% and
+20% more energy. … Conservative … needs on average 36 seconds longer for
+all lags together.  The latter two … need on average only about 1 second
+more."
+"""
+
+from repro.harness import figures
+from repro.harness.sweep import GOVERNORS
+
+
+def test_fig14_summary(benchmark, sweeps_by_dataset):
+    energy_rows, irritation_rows = benchmark(
+        figures.fig14_rows, sweeps_by_dataset
+    )
+    print("\nFig. 14 — summary over datasets 01-05")
+    print(figures.render_fig14(sweeps_by_dataset))
+
+    averages = {
+        row[0]: float(row[-1]) for row in energy_rows
+    }
+    irritation_avg = {row[0]: float(row[-1]) for row in irritation_rows}
+
+    # Energy ordering: conservative < interactive/ondemand; conservative
+    # at or below the oracle on average (paper: 0.92x).
+    assert averages["conservative"] < averages["interactive"]
+    assert averages["conservative"] < averages["ondemand"]
+    assert averages["conservative"] < 1.05
+    # Interactive/ondemand ~1.1-1.4x oracle (paper: 1.22/1.20).
+    for governor in ("interactive", "ondemand"):
+        assert 1.05 < averages[governor] < 1.45
+
+    # Irritation ordering: conservative is far worse than the other two,
+    # which stay within ~1 s of the oracle (paper: 36 s vs ~1 s).
+    assert irritation_avg["conservative"] > 4 * max(
+        irritation_avg["interactive"], irritation_avg["ondemand"]
+    )
+    assert irritation_avg["interactive"] < 1.5
+    assert irritation_avg["ondemand"] < 1.5
+    assert set(averages) == set(GOVERNORS)

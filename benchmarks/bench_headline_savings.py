@@ -1,0 +1,39 @@
+"""The abstract's headline numbers.
+
+Paper: "energy savings of up to 27% are possible, whilst delivering a user
+experience that is better than that provided by the standard ANDROID
+frequency governor" and "it is possible to save 47% energy with
+performance that is indistinguishable from permanently running the CPU at
+the highest frequency".
+
+Our simulated substrate reproduces the *structure* of both claims: the
+oracle saves double-digit percentages against the stock Android governor
+(interactive) and ~30% or more against the pinned maximum, at equal or
+better measured irritation.
+"""
+
+from repro.harness import figures
+
+
+def test_headline_savings(benchmark, sweeps_by_dataset):
+    savings = benchmark(figures.headline_savings, sweeps_by_dataset)
+
+    print("\nHeadline savings (oracle vs …)")
+    for key, value in savings.items():
+        print(f"  {key}: {100 * value:.0f}%")
+
+    # vs the standard Android governor (paper: up to 27%).
+    assert savings["vs_best_governor_max"] > 0.15
+    assert savings["vs_best_governor_avg"] > 0.08
+    # vs pinning the maximum frequency (paper: 47%).
+    assert savings["vs_max_frequency_max"] > 0.28
+    assert savings["vs_max_frequency_avg"] > 0.22
+
+    # And the oracle is never more irritating than either comparator.
+    for sweep in sweeps_by_dataset.values():
+        oracle_irritation = sweep.oracle.irritation().total_seconds
+        assert oracle_irritation <= sweep.mean_irritation_s("interactive") + 0.5
+        assert (
+            oracle_irritation
+            <= sweep.mean_irritation_s(f"fixed:{sweep.table.max_khz}") + 0.5
+        )

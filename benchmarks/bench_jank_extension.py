@@ -1,0 +1,40 @@
+"""Extension — jank (dropped-frame) analysis across configurations.
+
+§VI future work: workloads "dominated by Jank type lags where frames are
+dropped when the processor is too busy to keep up with the load".  The
+analyzer counts fully-busy vsync intervals; this bench shows dropped
+frames falling monotonically as the fixed frequency rises.
+"""
+
+from repro.metrics.jank import analyze_jank
+
+
+def test_jank_falls_with_frequency(benchmark, sweep_ds01):
+    slow = sweep_ds01.runs["fixed:300000"][0]
+    result = benchmark(
+        analyze_jank, slow.busy_timeline, slow.duration_us, slow.lag_profile
+    )
+
+    rows = {}
+    for config in ("fixed:300000", "fixed:960000", "fixed:2150400",
+                   "conservative", "interactive", "ondemand"):
+        run = sweep_ds01.runs[config][0]
+        jank = analyze_jank(run.busy_timeline, run.duration_us, run.lag_profile)
+        rows[config] = jank
+
+    print("\nJank analysis (Dataset 01)")
+    for config, jank in rows.items():
+        print(f"  {config:>14s}: {jank.frames_janky:5d} dropped frames "
+              f"({100 * jank.jank_ratio:5.2f}%), "
+              f"{jank.lag_frames_janky:5d} inside lags")
+
+    assert result.frames_janky > 0
+    assert (
+        rows["fixed:300000"].frames_janky
+        > rows["fixed:960000"].frames_janky
+        > rows["fixed:2150400"].frames_janky
+    )
+    # Governors that race to high frequencies drop far fewer frames than
+    # the pinned minimum.
+    assert rows["interactive"].frames_janky < rows["fixed:300000"].frames_janky
+    assert rows["ondemand"].frames_janky < rows["fixed:300000"].frames_janky

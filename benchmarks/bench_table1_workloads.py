@@ -1,0 +1,31 @@
+"""Table I — the workload suite.
+
+Regenerates the dataset descriptions and measures the cost of recording a
+complete workload (the artefact the whole study builds on).
+"""
+
+from repro.harness import figures
+from repro.harness.experiment import record_workload
+from repro.workloads import dataset
+
+
+def test_table1_descriptions(benchmark):
+    rows = benchmark(figures.table1_rows)
+    print("\nTable I — datasets\n" + figures.render_table1())
+    assert len(rows) == 5
+
+
+def test_record_one_workload(benchmark, artifacts_by_dataset):
+    """Time the full record+annotate pipeline for one 10-minute dataset."""
+    artifacts = benchmark.pedantic(
+        lambda: record_workload(dataset("03")), rounds=2, iterations=1
+    )
+    print("\nRecorded dataset 03: "
+          f"{artifacts.input_count} inputs, "
+          f"{artifacts.database.lag_count} lags")
+    for name, reference in artifacts_by_dataset.items():
+        target = reference.spec.target_inputs
+        measured = reference.input_count
+        print(f"  dataset {name}: {measured} inputs "
+              f"(paper: {target}) lags={reference.database.lag_count}")
+        assert abs(measured - target) / target < 0.25

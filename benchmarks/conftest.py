@@ -1,0 +1,54 @@
+"""Shared state for the benchmark suite.
+
+Recording a dataset and sweeping its 17 configurations is the expensive
+setup most benchmarks share; both are cached per session so each figure's
+bench times only its own work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import record_workload
+from repro.harness.sweep import run_sweep
+from repro.workloads import dataset
+
+BENCH_REPS = 2  # reps per configuration (the paper uses 5)
+
+
+@pytest.fixture(scope="session")
+def artifacts_by_dataset():
+    """Recorded artifacts for the five 10-minute datasets."""
+    return {
+        name: record_workload(dataset(name))
+        for name in ("01", "02", "03", "04", "05")
+    }
+
+
+@pytest.fixture(scope="session")
+def sweeps_by_dataset(artifacts_by_dataset):
+    """Full 17-configuration sweeps for all five datasets."""
+    return {
+        name: run_sweep(artifacts, reps=BENCH_REPS)
+        for name, artifacts in artifacts_by_dataset.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def artifacts_ds01(artifacts_by_dataset):
+    return artifacts_by_dataset["01"]
+
+
+@pytest.fixture(scope="session")
+def artifacts_ds02(artifacts_by_dataset):
+    return artifacts_by_dataset["02"]
+
+
+@pytest.fixture(scope="session")
+def sweep_ds01(sweeps_by_dataset):
+    return sweeps_by_dataset["01"]
+
+
+@pytest.fixture(scope="session")
+def sweep_ds02(sweeps_by_dataset):
+    return sweeps_by_dataset["02"]

@@ -1,0 +1,63 @@
+"""The 24-hour workload (paper §III-A, Fig. 10's right-most bars).
+
+One user recorded a full day: short bursts of email, news, messaging,
+music and games separated by long pocketed-phone idle periods.  This
+example records that day, classifies its inputs, and replays it under the
+interactive governor — demonstrating that the run-length-encoded video
+and event-driven simulation keep a day-long workload tractable.
+
+Run:  python examples/day_in_the_life.py [--hours N]
+"""
+
+import argparse
+import time
+
+from repro.core.rng import RngStreams
+from repro.core.simtime import hours, seconds
+from repro.harness.experiment import record_workload, replay_run
+from repro.workloads.datasets import DatasetSpec, dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=24.0,
+        help="shorten the day for a quicker demo",
+    )
+    args = parser.parse_args()
+
+    spec = dataset("24hour")
+    if args.hours != 24.0:
+        spec = DatasetSpec(
+            name=spec.name,
+            description=spec.description,
+            duration_us=hours(args.hours),
+            plan_factory=spec.plan_factory,
+            target_inputs=int(spec.target_inputs * args.hours / 24),
+        )
+
+    started = time.time()
+    artifacts = record_workload(spec)
+    classification = artifacts.classification
+    print(f"recorded {args.hours:.0f}h of use in {time.time() - started:.1f}s "
+          "wall time")
+    print(f"  inputs:   {classification.total_inputs} "
+          f"({classification.taps} taps, {classification.swipes} swipes)")
+    print(f"  lags:     {classification.actual_lags} actual, "
+          f"{classification.spurious_lags} spurious")
+
+    started = time.time()
+    result = replay_run(artifacts, "interactive")
+    print(f"replayed under interactive in {time.time() - started:.1f}s wall")
+    print(f"  energy:     {result.dynamic_energy_j:.1f} J dynamic "
+          f"({result.energy_j:.1f} J total)")
+    print(f"  busy time:  {result.busy_us / 1e6:.0f}s of "
+          f"{result.duration_us / 1e6:.0f}s")
+    print(f"  irritation: {result.irritation_seconds():.2f}s over "
+          f"{len(result.lag_profile)} lags")
+
+
+if __name__ == "__main__":
+    main()

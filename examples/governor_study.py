@@ -1,0 +1,52 @@
+"""The paper's governor study on one dataset (Figs. 3, 11, 12, 13).
+
+Records Dataset 02 (the Logo Quiz workload), runs the 17-configuration
+sweep, composes the oracle, and prints the evaluation tables.  With
+``--reps 5`` this is exactly the paper's 85-run protocol for one workload.
+
+Run:  python examples/governor_study.py [--reps N] [--dataset 02]
+"""
+
+import argparse
+import time
+
+from repro.harness import figures, record_workload
+from repro.harness.sweep import run_sweep
+from repro.workloads import dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dataset", default="02")
+    parser.add_argument("--reps", type=int, default=2)
+    args = parser.parse_args()
+
+    started = time.time()
+    artifacts = record_workload(dataset(args.dataset))
+    print(f"dataset {args.dataset}: {artifacts.input_count} inputs, "
+          f"{artifacts.database.lag_count} lags")
+
+    sweep = run_sweep(artifacts, reps=args.reps)
+    oracle = sweep.oracle
+    print(f"sweep of {len(sweep.configs())} configs x {args.reps} reps in "
+          f"{time.time() - started:.1f}s wall\n")
+
+    print("Fig. 3 — ondemand vs oracle around one interaction")
+    print(figures.render_fig3(figures.fig3_series(sweep)))
+    print()
+    print("Fig. 11 — lag-duration distributions")
+    print(figures.render_fig11(sweep))
+    print()
+    print("Fig. 12 — irritation and energy per configuration")
+    print(figures.render_fig12(sweep))
+    print()
+    print("Fig. 13 — energy vs irritation scatter")
+    print(figures.render_fig13(sweep))
+    print()
+    print(f"oracle: {oracle.energy_j:.2f} J, base frequency "
+          f"{oracle.base_khz / 1e6:.2f} GHz, irritation "
+          f"{oracle.irritation().total_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

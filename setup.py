@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs are unavailable; ``pip install -e .`` uses this file via the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""repro — reproduction of Seeker et al., "Measuring QoE of Interactive
+Workloads and Characterising Frequency Governors on Mobile Devices"
+(IISWC 2014).
+
+The public API re-exports the main entry points of each subsystem; see
+README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.device.device import Device, DeviceConfig
+
+__version__ = "0.1.0"
+
+__all__ = ["Device", "DeviceConfig", "__version__"]

@@ -1,0 +1,61 @@
+"""Input classification (paper Fig. 10).
+
+For each workload: how many inputs were taps vs swipes, and how many of
+them led to actual interaction lags vs were spurious ("it can happen that
+an input event does not lead to any reaction from the system … we consider
+those inputs as spurious lags and ignore them").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.annotation import AnnotationDatabase
+from repro.replay.trace import EventTrace
+from repro.uifw.gestures import GestureDecoder, Swipe, Tap
+
+
+@dataclass(frozen=True, slots=True)
+class InputClassification:
+    """The four bars of one Fig. 10 dataset group."""
+
+    dataset: str
+    taps: int
+    swipes: int
+    actual_lags: int
+    spurious_lags: int
+
+    @property
+    def total_inputs(self) -> int:
+        return self.taps + self.swipes
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "dataset": self.dataset,
+            "taps": self.taps,
+            "swipes": self.swipes,
+            "actual_lags": self.actual_lags,
+            "spurious_lags": self.spurious_lags,
+            "total": self.total_inputs,
+        }
+
+
+def decode_gestures(trace: EventTrace) -> list[Tap | Swipe]:
+    """Offline gesture decode of a recorded trace."""
+    gestures: list[Tap | Swipe] = []
+    decoder = GestureDecoder(gestures.append)
+    for event in trace:
+        decoder.on_event(event)
+    return gestures
+
+
+def classify_workload(
+    dataset: str, trace: EventTrace, database: AnnotationDatabase
+) -> InputClassification:
+    """Classify a workload's inputs from its trace and annotation DB."""
+    gestures = decode_gestures(trace)
+    taps = sum(1 for g in gestures if isinstance(g, Tap))
+    swipes = len(gestures) - taps
+    actual = database.lag_count
+    spurious = len(gestures) - actual
+    return InputClassification(dataset, taps, swipes, actual, max(0, spurious))

@@ -1,0 +1,59 @@
+"""Frame comparison with masks and pixel tolerance.
+
+The paper's annotation GUI lets the user "allow a certain amount of pixel
+difference between frames" (blinking cursors) and "mask out parts of the
+images being compared" (the clock, advertisements — Fig. 8).  Both knobs
+live here and are shared by the suggester and the matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import MatchError
+from repro.core.geometry import Rect
+
+
+def build_mask(
+    shape: tuple[int, int], exclude_rects: list[Rect] | None
+) -> np.ndarray | None:
+    """A boolean compare-mask; ``True`` pixels participate in comparison.
+
+    Returns ``None`` when nothing is excluded (the fast path).
+    """
+    if not exclude_rects:
+        return None
+    height, width = shape
+    mask = np.ones(shape, dtype=bool)
+    bounds = Rect(0, 0, width, height)
+    for rect in exclude_rects:
+        clipped = rect.clamped_to(bounds)
+        if clipped.area:
+            mask[clipped.y : clipped.bottom, clipped.x : clipped.right] = False
+    return mask
+
+
+def diff_pixel_count(
+    a: np.ndarray, b: np.ndarray, mask: np.ndarray | None = None
+) -> int:
+    """Number of differing pixels, ignoring masked-out regions."""
+    if a.shape != b.shape:
+        raise MatchError(f"cannot compare frames of shapes {a.shape} and {b.shape}")
+    diff = a != b
+    if mask is not None:
+        diff &= mask
+    return int(np.count_nonzero(diff))
+
+
+def frames_equal(
+    a: np.ndarray,
+    b: np.ndarray,
+    mask: np.ndarray | None = None,
+    tolerance_px: int = 0,
+) -> bool:
+    """Whether two frames are 'the same' under mask and tolerance."""
+    if a is b:
+        return True
+    if mask is None and tolerance_px == 0:
+        return bool(np.array_equal(a, b))
+    return diff_pixel_count(a, b, mask) <= tolerance_px

@@ -1,0 +1,50 @@
+"""The workload applications.
+
+One simulated app per application the paper's volunteers exercised
+(Table I and §III-A): Gallery, a Logo Quiz game, Pulse News (app and
+launcher widget), Movie Studio, multimedia messaging, plus the simpler
+side apps (Facebook, Gmail, Music, Calculator, Play Store) and the
+launcher itself.
+"""
+
+from repro.apps.gallery import GalleryApp
+from repro.apps.launcher import LauncherApp
+from repro.apps.logoquiz import LogoQuizApp
+from repro.apps.messaging import MessagingApp
+from repro.apps.moviestudio import MovieStudioApp
+from repro.apps.pulse import PulseApp
+from repro.apps.services import BackgroundServices
+from repro.apps.sideapps import (
+    CalculatorApp,
+    FeedApp,
+    MusicApp,
+    make_side_apps,
+)
+
+__all__ = [
+    "LauncherApp",
+    "GalleryApp",
+    "LogoQuizApp",
+    "PulseApp",
+    "MovieStudioApp",
+    "MessagingApp",
+    "BackgroundServices",
+    "FeedApp",
+    "CalculatorApp",
+    "MusicApp",
+    "make_side_apps",
+]
+
+
+def install_standard_apps(wm) -> None:
+    """Install the launcher (as home) and the full Table I app set."""
+    launcher = LauncherApp()
+    wm.install(launcher, home=True)
+    wm.install(GalleryApp())
+    wm.install(LogoQuizApp())
+    wm.install(PulseApp())
+    wm.install(MovieStudioApp())
+    wm.install(MessagingApp())
+    for app in make_side_apps():
+        wm.install(app)
+    launcher.refresh_icons()

@@ -1,0 +1,287 @@
+"""The Gallery: the paper's running example (Fig. 7) and Dataset 01.
+
+A cold launch loads album thumbnails one by one — "the Gallery loads up
+single elements of the final screen one by one … leads to 8 to 10
+suggested images" — and the edit/save path produces the very long lags
+the paper attributes to "the whole time the image needs to be saved" on
+Dataset 01 (up to 12-13 s at the lowest frequency).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_COMPLEX, CATEGORY_SIMPLE
+from repro.uifw.app import App, Stage
+from repro.uifw.view import View
+from repro.uifw.widgets import Button, Label, Spinner, TextureBlock
+
+ALBUM_COUNT = 8
+PHOTOS_PER_ALBUM = 6
+THUMB_W, THUMB_H = 20, 18
+GRID_LEFT, GRID_TOP = 3, 12
+GRID_COLS = 3
+
+# Work sizing: launch ~1.9 Gcycles total -> ~6.3 s at 0.30 GHz, matching
+# the paper's "about 200 frames at the lowest CPU frequency".
+LAUNCH_STAGE_CYCLES = 230e6
+LAUNCH_STAGE_IO_US = 15_000
+OPEN_ALBUM_STAGES: list[Stage] = [(350e6, 10_000), (400e6, 0)]
+OPEN_PHOTO_STAGES: list[Stage] = [(280e6, 8_000), (320e6, 0)]
+FILTER_CYCLES = 1.1e9
+SAVE_CYCLES = 3.3e9  # ~11 s at 0.30 GHz, ~1.5 s at 2.15 GHz
+
+
+class GalleryApp(App):
+    """Album grid → photo view → edit view with filter + save-to-SD."""
+
+    name = "gallery"
+    launch_category = CATEGORY_COMMON
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._albums_view = View("gallery:albums", background=12)
+        self._photos_view = View("gallery:photos", background=12)
+        self._photo_view = View("gallery:photo", background=8)
+        self._edit_view = View("gallery:edit", background=8)
+        self._album_thumbs: list[TextureBlock] = []
+        self._photo_thumbs: list[TextureBlock] = []
+        self._current_album = 0
+        self._current_photo = 0
+        self._filters_applied = 0
+        self._busy = False
+
+    # --- UI construction -------------------------------------------------------------
+
+    def build_ui(self) -> None:
+        self._view = self._albums_view
+        width, height = self.screen_size()
+
+        for index in range(ALBUM_COUNT):
+            rect = self._grid_rect(index)
+            thumb = TextureBlock(rect, f"gallery:album:{index}")
+            thumb.visible = False
+            thumb.on_tap = lambda _p, i=index: self._open_album(i)
+            self._album_thumbs.append(thumb)
+            self._albums_view.add(thumb)
+
+        for index in range(PHOTOS_PER_ALBUM):
+            rect = self._grid_rect(index)
+            thumb = TextureBlock(rect, "gallery:photo:placeholder")
+            thumb.on_tap = lambda _p, i=index: self._open_photo(i)
+            self._photo_thumbs.append(thumb)
+            self._photos_view.add(thumb)
+
+        self._full_photo = TextureBlock(
+            Rect(4, 14, width - 8, 78), "gallery:full:placeholder"
+        )
+        self._photo_view.add(self._full_photo)
+        self._photo_view.on_swipe = self._on_photo_swipe
+        self._edit_button = Button(Rect(6, 98, 28, 12), "edit")
+        self._edit_button.on_tap = lambda _p: self._enter_edit()
+        self._photo_view.add(self._edit_button)
+
+        self._edit_photo = TextureBlock(
+            Rect(4, 14, width - 8, 70), "gallery:edit:placeholder"
+        )
+        self._edit_view.add(self._edit_photo)
+        self._filter_button = Button(Rect(4, 90, 20, 12), "filter")
+        self._filter_button.on_tap = lambda _p: self._apply_filter()
+        self._edit_view.add(self._filter_button)
+        self._save_button = Button(Rect(28, 90, 20, 12), "save")
+        self._save_button.on_tap = lambda _p: self._save_photo()
+        self._edit_view.add(self._save_button)
+        self._save_spinner = Spinner(Rect(52, 90, 14, 12), "gallery:save-spinner")
+        self._edit_view.add(self._save_spinner)
+
+    def _grid_rect(self, index: int) -> Rect:
+        row, col = divmod(index, GRID_COLS)
+        return Rect(
+            GRID_LEFT + col * (THUMB_W + 3),
+            GRID_TOP + row * (THUMB_H + 3),
+            THUMB_W,
+            THUMB_H,
+        )
+
+    # --- launch: thumbnails appear one by one ------------------------------------------
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(LAUNCH_STAGE_CYCLES, LAUNCH_STAGE_IO_US)] * ALBUM_COUNT
+
+    def loading_view(self):
+        """The Gallery loads in place: thumbnails pop into the album grid."""
+        return self._albums_view
+
+    def on_launch_stage(self, index: int) -> None:
+        self._album_thumbs[index].visible = True
+
+    def on_launched(self) -> None:
+        self._view = self._albums_view
+
+    # --- navigation -------------------------------------------------------------------
+
+    def _open_album(self, index: int) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-album:{index}", CATEGORY_SIMPLE
+        )
+        self._current_album = index
+
+        def stage_done(stage: int) -> None:
+            if stage == 0:
+                # Transition to the grid with placeholder thumbnails …
+                for thumb in self._photo_thumbs:
+                    thumb.key = "gallery:photo:placeholder"
+                self._view = self._photos_view
+            else:
+                # … and the real thumbnails pop in as the final change.
+                for photo, thumb in enumerate(self._photo_thumbs):
+                    thumb.key = f"gallery:thumb:{index}:{photo}"
+            self.context.invalidate()
+
+        def done() -> None:
+            token.complete(self.context.now())
+
+        self.context.run_stages(
+            f"open-album:{index}", OPEN_ALBUM_STAGES, stage_done, done
+        )
+
+    def _open_photo(self, index: int) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-photo:{index}", CATEGORY_SIMPLE
+        )
+        self._current_photo = index
+
+        def stage_done(stage: int) -> None:
+            if stage == len(OPEN_PHOTO_STAGES) - 1:
+                self._full_photo.key = self._photo_key()
+                self._view = self._photo_view
+            self.context.invalidate()
+
+        def done() -> None:
+            token.complete(self.context.now())
+
+        self.context.run_stages(
+            f"open-photo:{index}", OPEN_PHOTO_STAGES, stage_done, done
+        )
+
+    def _on_photo_swipe(self, swipe) -> bool:
+        """Flip to the next/previous photo in the album."""
+        if self._busy:
+            return True
+        step = -1 if swipe.delta_x > 0 else 1
+        token = self.context.open_interaction("flip-photo", CATEGORY_SIMPLE)
+        self._current_photo = (self._current_photo + step) % PHOTOS_PER_ALBUM
+        self._filters_applied = 0
+
+        def done() -> None:
+            self._full_photo.key = self._photo_key()
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("flip-photo", 300e6, done)
+        return True
+
+    def _photo_key(self) -> str:
+        return (
+            f"gallery:full:{self._current_album}:{self._current_photo}"
+            f":f{self._filters_applied}"
+        )
+
+    def _enter_edit(self) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction("enter-edit", CATEGORY_SIMPLE)
+
+        def done() -> None:
+            self._edit_photo.key = self._photo_key()
+            self._view = self._edit_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("enter-edit", 250e6, done)
+
+    def _apply_filter(self) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction("apply-filter", CATEGORY_COMMON)
+        self._busy = True
+        self._save_spinner.active = True
+        self.context.wm.hold_animation()
+        self.context.invalidate()
+
+        def done() -> None:
+            self._busy = False
+            self._filters_applied += 1
+            self._save_spinner.active = False
+            self.context.wm.release_animation()
+            self._edit_photo.key = self._photo_key()
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("filter", FILTER_CYCLES, done)
+
+    def _save_photo(self) -> None:
+        """The Dataset 01 long lag: save the edited image to the SD card."""
+        if self._busy:
+            return
+        token = self.context.open_interaction("save-to-sd", CATEGORY_COMPLEX)
+        self._busy = True
+        self._save_spinner.active = True
+        self.context.wm.hold_animation()
+        self.context.invalidate()
+
+        def done() -> None:
+            self._busy = False
+            self._save_spinner.active = False
+            self.context.wm.release_animation()
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("save-to-sd", SAVE_CYCLES, done)
+
+    def on_back(self, token) -> bool:
+        """In-app back: edit → photo → album grid → albums; else home."""
+        if self._view is self._edit_view:
+            target = self._photo_view
+        elif self._view is self._photo_view:
+            target = self._photos_view
+        elif self._view is self._photos_view:
+            target = self._albums_view
+        else:
+            return False
+
+        def complete() -> None:
+            self._view = target
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("back-render", 40e6, complete)
+        return True
+
+    # --- affordances ---------------------------------------------------------------------
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("album:"):
+            return self._grid_rect(int(name.split(":")[1])).center
+        if name.startswith("photo:"):
+            return self._grid_rect(int(name.split(":")[1])).center
+        if name == "btn:edit":
+            return self._edit_button.rect.center
+        if name == "btn:filter":
+            return self._filter_button.rect.center
+        if name == "btn:save":
+            return self._save_button.rect.center
+        if name == "dead":
+            return Point(66, 110)
+        raise SimulationError(f"gallery has no tap target {name!r}")
+
+    def swipe_target(self, name: str) -> tuple[Point, Point, int]:
+        if name == "flip-next":
+            return Point(58, 50), Point(12, 50), 150_000
+        if name == "flip-prev":
+            return Point(12, 50), Point(58, 50), 150_000
+        raise SimulationError(f"gallery has no swipe target {name!r}")

@@ -1,0 +1,146 @@
+"""The home screen: icon grid plus the Pulse News widget.
+
+The widget refreshes its headlines periodically through background work —
+screen changes *outside* interaction lags, which is one of the situations
+where the paper observes ondemand raising the frequency although "the user
+does not need extra performance".
+"""
+
+from __future__ import annotations
+
+from repro.core.geometry import Point, Rect
+from repro.kernel.task import PRIORITY_BACKGROUND
+from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_SIMPLE
+from repro.uifw.app import App
+from repro.uifw.widgets import Icon, TextureBlock, Widget
+
+ICON_SIZE = 14
+ICON_GAP = 4
+GRID_TOP = 38
+GRID_LEFT = 2
+ICONS_PER_ROW = 4
+
+WIDGET_RECT = Rect(2, 10, 68, 24)
+WIDGET_REFRESH_PERIOD_US = 45_000_000
+WIDGET_REFRESH_CYCLES = 60e6
+
+
+class _PulseWidget(Widget):
+    """Headline rows that change on every background refresh."""
+
+    def __init__(self, rect: Rect) -> None:
+        super().__init__(rect, name="pulse-widget")
+        self.refresh_count = 0
+
+    def draw(self, canvas, now: int) -> None:
+        row_h = self.rect.h // 3
+        for row in range(3):
+            row_rect = Rect(
+                self.rect.x,
+                self.rect.y + row * row_h,
+                self.rect.w,
+                row_h - 1,
+            )
+            canvas.blit_texture(row_rect, f"widget:{self.refresh_count}:{row}")
+        canvas.frame_rect(self.rect, 140)
+
+
+class LauncherApp(App):
+    """Home screen with app icons and the news widget."""
+
+    name = "launcher"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._icons: dict[str, Icon] = {}
+        self._widget = _PulseWidget(WIDGET_RECT)
+        self.launched = True  # home is always warm
+
+    def build_ui(self) -> None:
+        self.view.background = 5
+        self._widget.on_tap = lambda _p: self._open_from_widget()
+        self.view.add(self._widget)
+        self._layout_icons()
+        self._schedule_widget_refresh()
+
+    # --- icon grid -----------------------------------------------------------------
+
+    def _layout_icons(self) -> None:
+        """Create icons for all installed apps except the launcher."""
+        apps = [a for a in self.context.wm.apps() if a.name != self.name]
+        for existing in self._icons.values():
+            if existing in self.view.widgets:
+                self.view.widgets.remove(existing)
+        self._icons.clear()
+        for index, app in enumerate(apps):
+            row, col = divmod(index, ICONS_PER_ROW)
+            rect = Rect(
+                GRID_LEFT + col * (ICON_SIZE + ICON_GAP),
+                GRID_TOP + row * (ICON_SIZE + ICON_GAP),
+                ICON_SIZE,
+                ICON_SIZE,
+            )
+            icon = Icon(rect, app.label())
+            icon.on_tap = lambda _p, target=app: self._launch(target)
+            self._icons[app.name] = icon
+            self.view.add(icon)
+
+    def refresh_icons(self) -> None:
+        """Re-layout after late app installs."""
+        self._layout_icons()
+
+    def _launch(self, app: App) -> None:
+        category = getattr(app, "launch_category", CATEGORY_COMMON)
+        token = self.context.open_interaction(f"launch:{app.name}", category)
+        app.launch(token)
+
+    def _open_from_widget(self) -> None:
+        """Tapping a widget headline opens the Pulse app."""
+        pulse = self.context.wm.app("pulse")
+        token = self.context.open_interaction("widget:open-pulse", CATEGORY_COMMON)
+        pulse.launch(token)
+
+    # --- widget refresh --------------------------------------------------------------
+
+    def _schedule_widget_refresh(self) -> None:
+        self.context.engine.schedule_after(
+            WIDGET_REFRESH_PERIOD_US, self._refresh_widget
+        )
+
+    def _refresh_widget(self) -> None:
+        def refreshed() -> None:
+            self._widget.refresh_count += 1
+            if self.context.wm.foreground is self:
+                self.context.invalidate()
+
+        self.context.post_work(
+            "widget-refresh",
+            WIDGET_REFRESH_CYCLES,
+            refreshed,
+            priority=PRIORITY_BACKGROUND,
+        )
+        self._schedule_widget_refresh()
+
+    # --- affordances ------------------------------------------------------------------
+
+    def dynamic_regions(self) -> list[Rect]:
+        """The widget refreshes on its own clock → masked in annotations."""
+        return [WIDGET_RECT]
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("icon:"):
+            app_name = name.split(":", 1)[1]
+            try:
+                return self._icons[app_name].rect.center
+            except KeyError:
+                raise self._no_target(name)
+        if name == "widget":
+            return WIDGET_RECT.center
+        if name == "dead":
+            return Point(66, 36)  # empty strip between widget and grid
+        raise self._no_target(name)
+
+    def _no_target(self, name: str):
+        from repro.core.errors import SimulationError
+
+        return SimulationError(f"launcher has no tap target {name!r}")

@@ -1,0 +1,190 @@
+"""The Logo Quiz game — Dataset 02.
+
+Interaction-heavy: the user moves through menu → level grid → puzzles,
+and answers by typing on the on-screen keyboard.  Key taps fall into the
+HCI *typing* category with its tight 150 ms threshold, which is where slow
+governors (conservative above all) accumulate irritation fastest.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.metrics.hci import (
+    CATEGORY_COMMON,
+    CATEGORY_SIMPLE,
+    CATEGORY_TYPING,
+)
+from repro.uifw.app import App, Stage
+from repro.uifw.view import View
+from repro.uifw.widgets import Button, Keyboard, Label, TextField, TextureBlock
+
+LEVEL_COUNT = 9
+LOGOS_PER_LEVEL = 6
+
+KEY_TAP_CYCLES = 100e6
+CHECK_ANSWER_CYCLES = 500e6
+OPEN_LEVEL_STAGES: list[Stage] = [(350e6, 10_000), (400e6, 0)]
+OPEN_LOGO_STAGES: list[Stage] = [(280e6, 8_000), (320e6, 0)]
+
+
+class LogoQuizApp(App):
+    """Menu → level grid → logo puzzle with typed answers."""
+
+    name = "logoquiz"
+    launch_category = CATEGORY_COMMON
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._menu_view = View("logoquiz:menu", background=18)
+        self._levels_view = View("logoquiz:levels", background=18)
+        self._puzzle_view = View("logoquiz:puzzle", background=14)
+        self._current_level = 0
+        self._current_logo = 0
+        self._solved: set[tuple[int, int]] = set()
+        self._busy = False
+
+    def build_ui(self) -> None:
+        self._view = self._menu_view
+        width, height = self.screen_size()
+
+        self._menu_logo = TextureBlock(Rect(12, 16, 48, 30), "logoquiz:banner")
+        self._menu_view.add(self._menu_logo)
+        self._play_button = Button(Rect(20, 56, 32, 14), "play")
+        self._play_button.on_tap = lambda _p: self._open_levels()
+        self._menu_view.add(self._play_button)
+
+        self._level_buttons: list[Button] = []
+        for index in range(LEVEL_COUNT):
+            row, col = divmod(index, 3)
+            rect = Rect(6 + col * 22, 14 + row * 20, 18, 16)
+            button = Button(rect, f"level{index}")
+            button.on_tap = lambda _p, i=index: self._open_level(i)
+            self._level_buttons.append(button)
+            self._levels_view.add(button)
+
+        self._logo_image = TextureBlock(Rect(16, 12, 40, 28), "logo:placeholder")
+        self._puzzle_view.add(self._logo_image)
+        self._answer_field = TextField(Rect(6, 44, 44, 9), "logoquiz:answer")
+        self._answer_field.focused = True
+        self._puzzle_view.add(self._answer_field)
+        self._check_button = Button(Rect(52, 44, 16, 9), "check")
+        self._check_button.on_tap = lambda _p: self._check_answer()
+        self._puzzle_view.add(self._check_button)
+        self._result_label = Label(Rect(6, 56, 62, 8), "result:none")
+        self._result_label.visible = False
+        self._puzzle_view.add(self._result_label)
+        self._keyboard = Keyboard(width, height - 10)
+        self._keyboard.on_tap = self._on_keyboard_tap
+        self._puzzle_view.add(self._keyboard)
+
+    # --- game flow ---------------------------------------------------------------------
+
+    def _open_levels(self) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction("open-levels", CATEGORY_SIMPLE)
+
+        def done() -> None:
+            self._view = self._levels_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("open-levels", 300e6, done)
+
+    def _open_level(self, index: int) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-level:{index}", CATEGORY_SIMPLE
+        )
+        self._current_level = index
+        self._current_logo = 0
+
+        def stage_done(stage: int) -> None:
+            if stage == len(OPEN_LEVEL_STAGES) - 1:
+                self._show_logo()
+            self.context.invalidate()
+
+        self.context.run_stages(
+            f"open-level:{index}",
+            OPEN_LEVEL_STAGES,
+            stage_done,
+            lambda: token.complete(self.context.now()),
+        )
+
+    def _show_logo(self) -> None:
+        self._logo_image.key = (
+            f"logo:{self._current_level}:{self._current_logo}"
+        )
+        self._answer_field.clear()
+        self._result_label.visible = False
+        self._view = self._puzzle_view
+
+    def _on_keyboard_tap(self, point: Point) -> None:
+        char = self._keyboard.key_at(point)
+        if char is None or self._busy:
+            return
+        token = self.context.open_interaction(f"type:{char}", CATEGORY_TYPING)
+
+        def done() -> None:
+            self._answer_field.append(char)
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"key:{char}", KEY_TAP_CYCLES, done)
+
+    def _check_answer(self) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction("check-answer", CATEGORY_SIMPLE)
+        level, logo = self._current_level, self._current_logo
+
+        def done() -> None:
+            self._solved.add((level, logo))
+            self._result_label.text = f"result:{level}:{logo}"
+            self._result_label.visible = True
+            self._current_logo = (logo + 1) % LOGOS_PER_LEVEL
+            self._show_logo()
+            self._result_label.visible = True
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("check-answer", CHECK_ANSWER_CYCLES, done)
+
+    def on_back(self, token) -> bool:
+        if self._view is self._puzzle_view:
+            target = self._levels_view
+        elif self._view is self._levels_view:
+            target = self._menu_view
+        else:
+            return False
+
+        def complete() -> None:
+            self._view = target
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("back-render", 40e6, complete)
+        return True
+
+    # --- affordances -----------------------------------------------------------------------
+
+    def dynamic_regions(self) -> list[Rect]:
+        """The blinking cursor in the answer field (paper §II-D)."""
+        if self._view is self._puzzle_view:
+            return [self._answer_field.cursor_rect]
+        return []
+
+    def tap_target(self, name: str) -> Point:
+        if name == "btn:play":
+            return self._play_button.rect.center
+        if name.startswith("level:"):
+            return self._level_buttons[int(name.split(":")[1])].rect.center
+        if name.startswith("key:"):
+            return self._keyboard.key_rect(name.split(":", 1)[1]).center
+        if name == "btn:check":
+            return self._check_button.rect.center
+        if name == "dead":
+            return Point(4, 68)
+        raise SimulationError(f"logoquiz has no tap target {name!r}")

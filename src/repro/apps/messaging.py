@@ -1,0 +1,263 @@
+"""Multimedia messaging — Dataset 03 (with the Pulse widget).
+
+Composing and sending an MMS reproduces the paper's trickiest matching
+case: "sending an email could pop up a loading bar which disappears again
+after the email is send[t]. The suggested lag ending therefore looks like
+the beginning" — the matcher must look for the *second* occurrence of the
+ending image.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.metrics.hci import (
+    CATEGORY_COMMON,
+    CATEGORY_SIMPLE,
+    CATEGORY_TYPING,
+)
+from repro.uifw.app import App, Stage
+from repro.uifw.view import View
+from repro.uifw.widgets import (
+    Button,
+    Keyboard,
+    ListView,
+    ProgressBar,
+    TextField,
+    TextureBlock,
+)
+
+THREAD_COUNT = 8
+THREAD_ROW_H = 13
+
+KEY_TAP_CYCLES = 100e6
+OPEN_THREAD_CYCLES = 450e6
+ATTACH_PICKER_STAGES: list[Stage] = [(350e6, 10_000), (400e6, 0)]
+PICK_IMAGE_CYCLES = 500e6
+SEND_STAGES = 5
+SEND_STAGE_CYCLES = 300e6
+
+
+class MessagingApp(App):
+    """Thread list → conversation with keyboard, attach and send."""
+
+    name = "messaging"
+    launch_category = CATEGORY_COMMON
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads_view = View("messaging:threads", background=10)
+        self._compose_view = View("messaging:compose", background=8)
+        self._picker_view = View("messaging:picker", background=12)
+        self._current_thread = 0
+        self._messages_sent = 0
+        self._attached: str | None = None
+        self._busy = False
+
+    def build_ui(self) -> None:
+        self._view = self._threads_view
+        width, height = self.screen_size()
+
+        self._threads = ListView(
+            Rect(0, 10, width, height - 22),
+            [f"thread:{i}" for i in range(THREAD_COUNT)],
+            THREAD_ROW_H,
+            name="messaging-threads",
+        )
+        self._threads.on_tap = self._on_thread_tap
+        self._threads_view.add(self._threads)
+
+        self._history = TextureBlock(
+            Rect(2, 10, width - 4, 30), "messaging:history:0:0"
+        )
+        self._compose_view.add(self._history)
+        self._attachment = TextureBlock(
+            Rect(4, 42, 20, 12), "messaging:attachment:none"
+        )
+        self._attachment.visible = False
+        self._compose_view.add(self._attachment)
+        self._body_field = TextField(Rect(2, 56, 50, 9), "messaging:body")
+        self._body_field.focused = True
+        self._compose_view.add(self._body_field)
+        self._attach_button = Button(Rect(54, 56, 8, 9), "at")
+        self._attach_button.on_tap = lambda _p: self._open_picker()
+        self._compose_view.add(self._attach_button)
+        self._send_button = Button(Rect(63, 56, 8, 9), "snd")
+        self._send_button.on_tap = lambda _p: self._send()
+        self._compose_view.add(self._send_button)
+        self._send_bar = ProgressBar(Rect(8, 68, 56, 6), "messaging:sendbar")
+        self._send_bar.visible = False
+        self._compose_view.add(self._send_bar)
+        self._keyboard = Keyboard(width, height - 10)
+        self._keyboard.on_tap = self._on_keyboard_tap
+        self._compose_view.add(self._keyboard)
+
+        self._picker_thumbs: list[TextureBlock] = []
+        for index in range(6):
+            row, col = divmod(index, 3)
+            rect = Rect(4 + col * 23, 14 + row * 22, 21, 20)
+            thumb = TextureBlock(rect, f"picker:image:{index}")
+            thumb.on_tap = lambda _p, i=index: self._pick_image(i)
+            self._picker_thumbs.append(thumb)
+            self._picker_view.add(thumb)
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(280e6, 12_000), (330e6, 10_000), (300e6, 0)]
+
+    # --- conversation flow ------------------------------------------------------------------
+
+    def _on_thread_tap(self, point: Point) -> None:
+        index = self._threads.item_at(point)
+        if index is None or self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-thread:{index}", CATEGORY_SIMPLE
+        )
+        self._current_thread = index
+
+        def done() -> None:
+            self._history.key = (
+                f"messaging:history:{index}:{self._messages_sent}"
+            )
+            self._body_field.clear()
+            self._attached = None
+            self._attachment.visible = False
+            self._view = self._compose_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"open-thread:{index}", OPEN_THREAD_CYCLES, done)
+
+    def _on_keyboard_tap(self, point: Point) -> None:
+        char = self._keyboard.key_at(point)
+        if char is None or self._busy:
+            return
+        token = self.context.open_interaction(f"type:{char}", CATEGORY_TYPING)
+
+        def done() -> None:
+            self._body_field.append(char)
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"key:{char}", KEY_TAP_CYCLES, done)
+
+    def _open_picker(self) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction("open-picker", CATEGORY_SIMPLE)
+
+        def stage_done(stage: int) -> None:
+            if stage == len(ATTACH_PICKER_STAGES) - 1:
+                self._view = self._picker_view
+            self.context.invalidate()
+
+        self.context.run_stages(
+            "open-picker",
+            ATTACH_PICKER_STAGES,
+            stage_done,
+            lambda: token.complete(self.context.now()),
+        )
+
+    def _pick_image(self, index: int) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction(
+            f"pick-image:{index}", CATEGORY_SIMPLE
+        )
+
+        def done() -> None:
+            self._attached = f"picker:image:{index}"
+            self._attachment.key = f"messaging:attachment:{index}"
+            self._attachment.visible = True
+            self._view = self._compose_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"pick-image:{index}", PICK_IMAGE_CYCLES, done)
+
+    def _send(self) -> None:
+        """Send the MMS: progress bar fills then disappears.
+
+        The final screen equals the pre-send compose screen except for the
+        cleared body and history bump — and, crucially, the bar area looks
+        exactly like it did before the tap, creating the second-occurrence
+        matching case.
+        """
+        if self._busy or not self._body_field.content:
+            return
+        token = self.context.open_interaction("send-mms", CATEGORY_COMMON)
+        self._busy = True
+        self._send_bar.visible = True
+        self._send_bar.fraction = 0.0
+        self.context.invalidate()
+
+        def stage_done(index: int) -> None:
+            self._send_bar.fraction = (index + 1) / SEND_STAGES
+            self.context.invalidate()
+
+        def done() -> None:
+            self._busy = False
+            self._messages_sent += 1
+            self._send_bar.visible = False
+            self._history.key = (
+                f"messaging:history:{self._current_thread}:{self._messages_sent}"
+            )
+            self._body_field.clear()
+            self._attached = None
+            self._attachment.visible = False
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.run_stages(
+            "send-mms",
+            [(SEND_STAGE_CYCLES, 20_000)] * SEND_STAGES,
+            stage_done,
+            done,
+        )
+
+    def on_back(self, token) -> bool:
+        if self._view is self._picker_view:
+            target = self._compose_view
+        elif self._view is self._compose_view:
+            target = self._threads_view
+        else:
+            return False
+
+        def complete() -> None:
+            self._view = target
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("back-render", 40e6, complete)
+        return True
+
+    # --- affordances ----------------------------------------------------------------------------
+
+    def dynamic_regions(self) -> list[Rect]:
+        if self._view is self._compose_view:
+            return [self._body_field.cursor_rect]
+        return []
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("thread:"):
+            index = int(name.split(":")[1])
+            row_y = (
+                self._threads.rect.y
+                + index * THREAD_ROW_H
+                - self._threads.scroll_px
+                + THREAD_ROW_H // 2
+            )
+            if not (self._threads.rect.y <= row_y < self._threads.rect.bottom):
+                raise SimulationError(f"thread {index} not on screen")
+            return Point(self._threads.rect.center.x, row_y)
+        if name.startswith("key:"):
+            return self._keyboard.key_rect(name.split(":", 1)[1]).center
+        if name == "btn:attach":
+            return self._attach_button.rect.center
+        if name == "btn:send":
+            return self._send_button.rect.center
+        if name.startswith("pick:"):
+            return self._picker_thumbs[int(name.split(":")[1])].rect.center
+        if name == "dead":
+            return Point(4, 80)
+        raise SimulationError(f"messaging has no tap target {name!r}")

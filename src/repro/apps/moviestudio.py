@@ -1,0 +1,201 @@
+"""Movie Studio — Dataset 04.
+
+Video-project editing: importing clips and rendering previews/exports are
+the heaviest tasks in the study's workloads, landing in the HCI *complex*
+category (12 s threshold).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_COMPLEX, CATEGORY_SIMPLE
+from repro.uifw.app import App, Stage
+from repro.uifw.view import View
+from repro.uifw.widgets import Button, ProgressBar, Spinner, TextureBlock
+
+MAX_CLIPS = 6
+IMPORT_CLIP_CYCLES = 900e6
+PREVIEW_STAGE_CYCLES = 550e6
+PREVIEW_STAGES = 4  # ~1.8 Gcycles total
+EXPORT_STAGE_CYCLES = 850e6
+EXPORT_STAGES = 5  # ~3.5 Gcycles total
+
+
+class MovieStudioApp(App):
+    """Project timeline with clip import, preview render and export."""
+
+    name = "moviestudio"
+    launch_category = CATEGORY_COMMON
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._project_view = View("moviestudio:project", background=16)
+        self._clips: list[TextureBlock] = []
+        self._clip_count = 0
+        self._previews_rendered = 0
+        self._exports_done = 0
+        self._busy = False
+
+    def build_ui(self) -> None:
+        self._view = self._project_view
+        width, _height = self.screen_size()
+
+        self._preview_area = TextureBlock(
+            Rect(6, 12, width - 12, 40), "moviestudio:preview:empty"
+        )
+        self._project_view.add(self._preview_area)
+
+        for index in range(MAX_CLIPS):
+            rect = Rect(4 + index * 11, 56, 10, 12)
+            clip = TextureBlock(rect, f"moviestudio:clip-slot:{index}")
+            clip.visible = False
+            clip.on_tap = lambda _p, i=index: self._select_clip(i)
+            self._clips.append(clip)
+            self._project_view.add(clip)
+        self._selected_clip: int | None = None
+
+        self._add_button = Button(Rect(4, 74, 20, 11), "addclip")
+        self._add_button.on_tap = lambda _p: self._add_clip()
+        self._project_view.add(self._add_button)
+        self._preview_button = Button(Rect(27, 74, 20, 11), "preview")
+        self._preview_button.on_tap = lambda _p: self._render_preview()
+        self._project_view.add(self._preview_button)
+        self._export_button = Button(Rect(50, 74, 20, 11), "export")
+        self._export_button.on_tap = lambda _p: self._export()
+        self._project_view.add(self._export_button)
+
+        self._render_bar = ProgressBar(Rect(6, 92, 60, 7), "moviestudio:render")
+        self._render_bar.visible = False
+        self._project_view.add(self._render_bar)
+        self._spinner = Spinner(Rect(30, 102, 12, 10), "moviestudio:spinner")
+        self._project_view.add(self._spinner)
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(420e6, 20_000), (500e6, 15_000), (420e6, 0)]
+
+    # --- editing operations --------------------------------------------------------------
+
+    def _select_clip(self, index: int) -> None:
+        """Timeline selection: a cheap, frequent editing tap.
+
+        Re-selecting the current clip is ignored — it would change nothing
+        on screen, so there is no interaction to service.
+        """
+        if (
+            self._busy
+            or index >= self._clip_count
+            or index == self._selected_clip
+        ):
+            return
+        token = self.context.open_interaction(
+            f"select-clip:{index}", CATEGORY_SIMPLE
+        )
+
+        def done() -> None:
+            previous = self._selected_clip
+            if previous is not None and previous < self._clip_count:
+                self._clips[previous].key = f"moviestudio:clip:{previous}"
+            self._selected_clip = index
+            self._clips[index].key = f"moviestudio:clip:{index}:sel"
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"select-clip:{index}", 120e6, done)
+
+    def _add_clip(self) -> None:
+        if self._busy or self._clip_count >= MAX_CLIPS:
+            return
+        token = self.context.open_interaction(
+            f"add-clip:{self._clip_count}", CATEGORY_COMMON
+        )
+        index = self._clip_count
+        self._busy = True
+        self._spinner.active = True
+        self.context.wm.hold_animation()
+        self.context.invalidate()
+
+        def done() -> None:
+            self._busy = False
+            self._spinner.active = False
+            self.context.wm.release_animation()
+            self._clips[index].key = f"moviestudio:clip:{index}"
+            self._clips[index].visible = True
+            self._clip_count += 1
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"import-clip:{index}", IMPORT_CLIP_CYCLES, done)
+
+    def _render_preview(self) -> None:
+        if self._busy or self._clip_count == 0:
+            return
+        token = self.context.open_interaction("render-preview", CATEGORY_COMPLEX)
+        self._start_render(
+            "preview",
+            PREVIEW_STAGES,
+            PREVIEW_STAGE_CYCLES,
+            lambda: self._finish_preview(token),
+        )
+
+    def _finish_preview(self, token) -> None:
+        self._previews_rendered += 1
+        self._preview_area.key = (
+            f"moviestudio:preview:{self._clip_count}:{self._previews_rendered}"
+        )
+        self._finish_render(token)
+
+    def _export(self) -> None:
+        if self._busy or self._previews_rendered == 0:
+            return
+        token = self.context.open_interaction("export-movie", CATEGORY_COMPLEX)
+        self._start_render(
+            "export",
+            EXPORT_STAGES,
+            EXPORT_STAGE_CYCLES,
+            lambda: self._finish_export(token),
+        )
+
+    def _finish_export(self, token) -> None:
+        self._exports_done += 1
+        self._finish_render(token)
+
+    def _start_render(
+        self, label: str, stages: int, stage_cycles: float, on_done
+    ) -> None:
+        self._busy = True
+        self._render_bar.visible = True
+        self._render_bar.fraction = 0.0
+        self.context.invalidate()
+
+        def stage_done(index: int) -> None:
+            self._render_bar.fraction = (index + 1) / stages
+            self.context.invalidate()
+
+        self.context.run_stages(
+            label,
+            [(stage_cycles, 5_000)] * stages,
+            stage_done,
+            on_done,
+        )
+
+    def _finish_render(self, token) -> None:
+        self._busy = False
+        self._render_bar.visible = False
+        self.context.invalidate()
+        token.complete(self.context.now())
+
+    # --- affordances -------------------------------------------------------------------------
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("clip:"):
+            return self._clips[int(name.split(":")[1])].rect.center
+        if name == "btn:addclip":
+            return self._add_button.rect.center
+        if name == "btn:preview":
+            return self._preview_button.rect.center
+        if name == "btn:export":
+            return self._export_button.rect.center
+        if name == "dead":
+            return Point(66, 104)
+        raise SimulationError(f"moviestudio has no tap target {name!r}")

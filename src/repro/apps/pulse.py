@@ -1,0 +1,196 @@
+"""Pulse News — Datasets 03 (widget) and 05 (app).
+
+A scrollable feed of stories; swipes scroll the list (short render lags),
+taps open articles (multi-stage text + image loads).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_SIMPLE
+from repro.uifw.app import App, Stage
+from repro.uifw.gestures import Swipe
+from repro.uifw.view import View
+from repro.uifw.widgets import ListView, TextureBlock
+
+STORY_COUNT = 24
+STORY_ROW_H = 14
+
+SCROLL_RENDER_CYCLES = 80e6
+OPEN_STORY_STAGES: list[Stage] = [(400e6, 12_000), (550e6, 0)]
+REFRESH_STAGES: list[Stage] = [(350e6, 30_000), (300e6, 0)]
+
+
+class PulseApp(App):
+    """News feed with scrollable stories and article views."""
+
+    name = "pulse"
+    launch_category = CATEGORY_COMMON
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._feed_view = View("pulse:feed", background=10)
+        self._article_view = View("pulse:article", background=6)
+        self._current_story = 0
+        self._busy = False
+
+    def build_ui(self) -> None:
+        self._view = self._feed_view
+        width, height = self.screen_size()
+        self._feed = ListView(
+            Rect(0, 10, width, height - 24),
+            [f"story:{i}" for i in range(STORY_COUNT)],
+            STORY_ROW_H,
+            name="pulse-feed",
+        )
+        self._feed.on_item_tap = self._open_story
+        self._feed.on_tap = self._on_feed_tap
+        self._feed_view.add(self._feed)
+        self._feed_view.on_swipe = self._on_feed_swipe
+
+        self._article_title = TextureBlock(
+            Rect(4, 12, width - 8, 12), "article:title:placeholder"
+        )
+        self._article_view.add(self._article_title)
+        self._article_body = TextureBlock(
+            Rect(4, 26, width - 8, 52), "article:body:placeholder"
+        )
+        self._article_body.visible = False
+        self._article_view.add(self._article_body)
+        self._article_image = TextureBlock(
+            Rect(8, 82, width - 16, 28), "article:image:placeholder"
+        )
+        self._article_image.visible = False
+        self._article_view.add(self._article_image)
+
+        self._refresh_banner = TextureBlock(
+            Rect(14, 12, width - 28, 10), "pulse:refreshing"
+        )
+        self._refresh_banner.visible = False
+        self._feed_view.add(self._refresh_banner)
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(300e6, 15_000), (380e6, 15_000), (350e6, 10_000), (330e6, 0)]
+
+    # --- feed ---------------------------------------------------------------------------
+
+    def _on_feed_tap(self, point: Point) -> None:
+        index = self._feed.item_at(point)
+        if index is not None:
+            self._open_story(index)
+
+    def _on_feed_swipe(self, swipe: Swipe) -> bool:
+        if self._busy:
+            return True
+        if swipe.delta_y > 0 and self._feed.scroll_px == 0:
+            # Pull-to-refresh at the top of the feed.
+            self.refresh_feed()
+            return True
+        token = self.context.open_interaction("scroll-feed", CATEGORY_SIMPLE)
+        delta_px = -swipe.delta_y * 2
+
+        def done() -> None:
+            # State changes at render completion so the visual change and
+            # the lag ending coincide at every frequency.
+            self._feed.scroll_by(delta_px)
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("scroll-render", SCROLL_RENDER_CYCLES, done)
+        return True
+
+    def _open_story(self, index: int) -> None:
+        if self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-story:{index}", CATEGORY_COMMON
+        )
+        self._current_story = index
+        self._article_title.key = f"article:title:{index}"
+        self._article_body.visible = False
+        self._article_image.visible = False
+        self._view = self._article_view
+
+        def stage_done(stage: int) -> None:
+            if stage == 0:
+                self._article_body.key = f"article:body:{index}"
+                self._article_body.visible = True
+            else:
+                self._article_image.key = f"article:image:{index}"
+                self._article_image.visible = True
+            self.context.invalidate()
+
+        self.context.run_stages(
+            f"open-story:{index}",
+            OPEN_STORY_STAGES,
+            stage_done,
+            lambda: token.complete(self.context.now()),
+        )
+
+    def refresh_feed(self) -> None:
+        """Pull-to-refresh: a banner appears, then the feed settles back.
+
+        When triggered at the top of the feed, the final screen is
+        identical to the one at the input — the paper's "ending looks like
+        the beginning" case, which the matcher handles by looking for the
+        *second* occurrence of the ending image.
+        """
+        if self._busy:
+            return
+        token = self.context.open_interaction("refresh-feed", CATEGORY_COMMON)
+        self._busy = True
+        self._refresh_banner.visible = True
+        self.context.invalidate()
+
+        def done() -> None:
+            self._busy = False
+            self._refresh_banner.visible = False
+            self._feed.scroll_px = 0
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.run_stages("refresh", REFRESH_STAGES, on_done=done)
+
+    def on_back(self, token) -> bool:
+        if self._view is not self._article_view:
+            return False
+
+        def complete() -> None:
+            self._view = self._feed_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("back-render", 40e6, complete)
+        return True
+
+    # --- affordances ------------------------------------------------------------------------
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("story:"):
+            index = int(name.split(":")[1])
+            # Aim at the story row if it is currently visible.
+            row_y = (
+                self._feed.rect.y
+                + index * STORY_ROW_H
+                - self._feed.scroll_px
+                + STORY_ROW_H // 2
+            )
+            if not (
+                self._feed.rect.y <= row_y < self._feed.rect.bottom
+            ):
+                raise SimulationError(f"story {index} not on screen")
+            return Point(self._feed.rect.center.x, row_y)
+        if name == "dead":
+            return Point(36, 115)  # strip between feed bottom and nav bar
+        raise SimulationError(f"pulse has no tap target {name!r}")
+
+    def swipe_target(self, name: str) -> tuple[Point, Point, int]:
+        x = self._feed.rect.center.x
+        if name == "scroll-up":  # content moves up: finger travels up
+            return Point(x, 96), Point(x, 40), 180_000
+        if name == "scroll-down":
+            return Point(x, 40), Point(x, 96), 180_000
+        if name == "pull-refresh":
+            return Point(x, 30), Point(x, 80), 220_000
+        raise SimulationError(f"pulse has no swipe target {name!r}")

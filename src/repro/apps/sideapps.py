@@ -1,0 +1,280 @@
+"""The simpler pre-installed apps from §III-A.
+
+Facebook, Gmail and the Play Store share a generic feed-app shape; the
+Calculator is pure rapid-fire typing-category taps; the Music player runs
+light periodic decode work in the background while playing — load the
+governors see *outside* interaction lags.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.kernel.task import PRIORITY_BACKGROUND
+from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_SIMPLE, CATEGORY_TYPING
+from repro.uifw.app import App, Stage
+from repro.uifw.gestures import Swipe
+from repro.uifw.view import View
+from repro.uifw.widgets import Button, ListView, ProgressBar, TextureBlock
+
+FEED_ROW_H = 13
+SCROLL_RENDER_CYCLES = 80e6
+
+MUSIC_DECODE_PERIOD_US = 2_000_000
+MUSIC_DECODE_CYCLES = 18e6
+
+
+class FeedApp(App):
+    """Generic scroll-and-open feed app (Facebook, Gmail, Play Store)."""
+
+    launch_category = CATEGORY_COMMON
+
+    def __init__(
+        self,
+        name: str,
+        item_count: int = 20,
+        open_stages: list[Stage] | None = None,
+    ) -> None:
+        self.name = name
+        super().__init__()
+        self._item_count = item_count
+        self._open_stages = open_stages or [(350e6, 10_000), (430e6, 0)]
+        self._feed_view = View(f"{name}:feed", background=10)
+        self._item_view = View(f"{name}:item", background=6)
+        self._busy = False
+
+    def build_ui(self) -> None:
+        self._view = self._feed_view
+        width, height = self.screen_size()
+        self._feed = ListView(
+            Rect(0, 10, width, height - 24),
+            [f"{self.name}:item:{i}" for i in range(self._item_count)],
+            FEED_ROW_H,
+            name=f"{self.name}-feed",
+        )
+        self._feed.on_tap = self._on_feed_tap
+        self._feed_view.add(self._feed)
+        self._feed_view.on_swipe = self._on_feed_swipe
+        self._item_content = TextureBlock(
+            Rect(4, 12, width - 8, 90), f"{self.name}:content:placeholder"
+        )
+        self._item_view.add(self._item_content)
+
+    def _on_feed_tap(self, point: Point) -> None:
+        index = self._feed.item_at(point)
+        if index is None or self._busy:
+            return
+        token = self.context.open_interaction(
+            f"open-item:{index}", CATEGORY_COMMON
+        )
+
+        def stage_done(stage: int) -> None:
+            if stage == len(self._open_stages) - 1:
+                self._item_content.key = f"{self.name}:content:{index}"
+                self._view = self._item_view
+            self.context.invalidate()
+
+        self.context.run_stages(
+            f"open-item:{index}",
+            self._open_stages,
+            stage_done,
+            lambda: token.complete(self.context.now()),
+        )
+
+    def _on_feed_swipe(self, swipe: Swipe) -> bool:
+        if self._busy:
+            return True
+        token = self.context.open_interaction("scroll", CATEGORY_SIMPLE)
+        delta_px = -swipe.delta_y * 2
+
+        def done() -> None:
+            self._feed.scroll_by(delta_px)
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("scroll-render", SCROLL_RENDER_CYCLES, done)
+        return True
+
+    def on_back(self, token) -> bool:
+        if self._view is not self._item_view:
+            return False
+
+        def complete() -> None:
+            self._view = self._feed_view
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work("back-render", 40e6, complete)
+        return True
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("item:"):
+            index = int(name.split(":")[1])
+            row_y = (
+                self._feed.rect.y
+                + index * FEED_ROW_H
+                - self._feed.scroll_px
+                + FEED_ROW_H // 2
+            )
+            if not (self._feed.rect.y <= row_y < self._feed.rect.bottom):
+                raise SimulationError(f"item {index} not on screen")
+            return Point(self._feed.rect.center.x, row_y)
+        if name == "dead":
+            return Point(36, 115)
+        raise SimulationError(f"{self.name} has no tap target {name!r}")
+
+    def swipe_target(self, name: str) -> tuple[Point, Point, int]:
+        x = self._feed.rect.center.x
+        if name == "scroll-up":
+            return Point(x, 96), Point(x, 40), 180_000
+        if name == "scroll-down":
+            return Point(x, 40), Point(x, 96), 180_000
+        raise SimulationError(f"{self.name} has no swipe target {name!r}")
+
+
+class CalculatorApp(App):
+    """Rapid small taps; every key press is a typing-category lag."""
+
+    name = "calculator"
+    launch_category = CATEGORY_SIMPLE
+
+    KEY_TAP_CYCLES = 60e6
+    EVAL_CYCLES = 150e6
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._calc_view = View("calculator:root", background=14)
+        self._entry = ""
+        self._results = 0
+
+    def build_ui(self) -> None:
+        self._view = self._calc_view
+        width, _height = self.screen_size()
+        self._display = TextureBlock(Rect(4, 12, width - 8, 14), "calc:display:")
+        self._calc_view.add(self._display)
+        self._key_buttons: dict[str, Button] = {}
+        keys = "789/456*123-0=+."
+        for index, char in enumerate(keys):
+            row, col = divmod(index, 4)
+            rect = Rect(4 + col * 17, 30 + row * 15, 15, 13)
+            button = Button(rect, f"calckey:{char}")
+            button.on_tap = lambda _p, c=char: self._press(c)
+            self._key_buttons[char] = button
+            self._calc_view.add(button)
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(150e6, 5_000), (170e6, 0)]
+
+    def _press(self, char: str) -> None:
+        if char == "=":
+            token = self.context.open_interaction("evaluate", CATEGORY_SIMPLE)
+
+            def evaluated() -> None:
+                self._results += 1
+                self._entry = ""
+                self._display.key = f"calc:result:{self._results}"
+                self.context.invalidate()
+                token.complete(self.context.now())
+
+            self.context.post_work("evaluate", self.EVAL_CYCLES, evaluated)
+            return
+        token = self.context.open_interaction(f"key:{char}", CATEGORY_TYPING)
+
+        def pressed() -> None:
+            self._entry += char
+            self._display.key = f"calc:display:{self._entry}"
+            self.context.invalidate()
+            token.complete(self.context.now())
+
+        self.context.post_work(f"key:{char}", self.KEY_TAP_CYCLES, pressed)
+
+    def tap_target(self, name: str) -> Point:
+        if name.startswith("key:"):
+            return self._key_buttons[name.split(":", 1)[1]].rect.center
+        if name == "dead":
+            return Point(68, 110)
+        raise SimulationError(f"calculator has no tap target {name!r}")
+
+
+class MusicApp(App):
+    """Play/pause plus a progress bar; decoding runs in the background."""
+
+    name = "music"
+    launch_category = CATEGORY_SIMPLE
+
+    TOGGLE_CYCLES = 200e6
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._music_view = View("music:root", background=12)
+        self.playing = False
+        self._decode_count = 0
+
+    def build_ui(self) -> None:
+        self._view = self._music_view
+        width, _height = self.screen_size()
+        self._art = TextureBlock(Rect(12, 14, width - 24, 44), "music:art:0")
+        self._music_view.add(self._art)
+        self._seek_bar = ProgressBar(Rect(8, 64, width - 16, 6), "music:seek")
+        self._music_view.add(self._seek_bar)
+        self._play_button = Button(Rect(26, 76, 20, 13), "play")
+        self._play_button.on_tap = lambda _p: self._toggle()
+        self._music_view.add(self._play_button)
+
+    def cold_start_stages(self) -> list[Stage]:
+        return [(190e6, 10_000), (210e6, 0)]
+
+    def _toggle(self) -> None:
+        token = self.context.open_interaction(
+            "pause" if self.playing else "play", CATEGORY_SIMPLE
+        )
+
+        def done() -> None:
+            self.playing = not self.playing
+            self._play_button.label = "pause" if self.playing else "play"
+            self.context.invalidate()
+            token.complete(self.context.now())
+            if self.playing:
+                self._schedule_decode()
+
+        self.context.post_work("toggle", self.TOGGLE_CYCLES, done)
+
+    def _schedule_decode(self) -> None:
+        self.context.engine.schedule_after(MUSIC_DECODE_PERIOD_US, self._decode)
+
+    def _decode(self) -> None:
+        if not self.playing:
+            return
+
+        def decoded() -> None:
+            self._decode_count += 1
+            self._seek_bar.fraction = (self._decode_count % 90) / 90
+            if self.context.wm.foreground is self:
+                self.context.invalidate()
+
+        self.context.post_work(
+            "decode", MUSIC_DECODE_CYCLES, decoded, priority=PRIORITY_BACKGROUND
+        )
+        self._schedule_decode()
+
+    def dynamic_regions(self) -> list[Rect]:
+        """Seek-bar advances on its own clock while playing."""
+        return [self._seek_bar.rect]
+
+    def tap_target(self, name: str) -> Point:
+        if name == "btn:toggle":
+            return self._play_button.rect.center
+        if name == "dead":
+            return Point(6, 100)
+        raise SimulationError(f"music has no tap target {name!r}")
+
+
+def make_side_apps() -> list[App]:
+    """The side apps installed on the study device."""
+    return [
+        FeedApp("facebook", item_count=24),
+        FeedApp("gmail", item_count=18, open_stages=[(300e6, 10_000), (350e6, 0)]),
+        FeedApp("playstore", item_count=16, open_stages=[(420e6, 15_000), (460e6, 0)]),
+        CalculatorApp(),
+        MusicApp(),
+    ]

@@ -1,0 +1,6 @@
+"""Screen capture: lossless video of the device display (paper §II-C)."""
+
+from repro.capture.hdmi import CaptureCard
+from repro.capture.video import Frame, Video, VideoSegment
+
+__all__ = ["CaptureCard", "Frame", "Video", "VideoSegment"]

@@ -1,0 +1,57 @@
+"""The capture card: display → video.
+
+Stands in for the paper's HDMI → Elgato Game Capture HD chain (Fig. 6):
+a lossless tap on the panel's composed frames.  Lossless direct capture is
+the point — "we avoid image artifacts which would significantly complicate
+the process of comparing video frames".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CaptureError
+from repro.device.display import Display, frame_index_at
+from repro.capture.video import Video
+
+
+class CaptureCard:
+    """Records the display's composed frames into a :class:`Video`."""
+
+    def __init__(self, display: Display) -> None:
+        self._display = display
+        self._video: Video | None = None
+        self._capturing = False
+        self._attached = False
+
+    @property
+    def capturing(self) -> bool:
+        return self._capturing
+
+    def start(self, now: int) -> None:
+        """Begin capturing; grabs the current screen as the first frame."""
+        if self._capturing:
+            raise CaptureError("capture already running")
+        self._video = Video(self._display.width, self._display.height)
+        self._capturing = True
+        if not self._attached:
+            self._display.add_frame_observer(self._on_frame)
+            self._attached = True
+        # Seed with what is on screen right now.
+        self._video.record_frame(
+            frame_index_at(now), np.array(self._display.framebuffer, copy=True)
+        )
+
+    def stop(self, now: int) -> Video:
+        """Stop capturing and return the finished video."""
+        if not self._capturing or self._video is None:
+            raise CaptureError("no capture running")
+        self._capturing = False
+        video = self._video
+        video.finalize(frame_index_at(now) + 1)
+        self._video = None
+        return video
+
+    def _on_frame(self, frame_index: int, content) -> None:
+        if self._capturing and self._video is not None:
+            self._video.record_frame(frame_index, content)

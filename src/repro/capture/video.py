@@ -1,0 +1,195 @@
+"""The video container.
+
+A capture is a 30 fps sequence of frames.  Because the screen is still for
+long stretches (the paper's 24-hour workload especially), frames are
+stored as run-length segments of identical content, while the API exposes
+exact frame-by-frame semantics: ``frame_at(i)`` for any index, and
+segment iteration for algorithms (suggester, matcher) that can
+short-circuit over still periods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import CaptureError
+from repro.device.display import VSYNC_PERIOD_US, frame_timestamp
+
+Frame = np.ndarray
+
+
+def content_digest(frame: Frame) -> bytes:
+    """A stable digest of a frame's pixels (for exact-equality checks)."""
+    return hashlib.blake2b(frame.tobytes(), digest_size=16).digest()
+
+
+@dataclass(slots=True)
+class VideoSegment:
+    """A run of consecutive identical frames ``[start, end)``."""
+
+    start: int
+    end: int
+    content: Frame
+    digest: bytes
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class Video:
+    """An RLE-compressed, frame-addressable screen capture."""
+
+    def __init__(self, width: int, height: int, fps_period_us: int = VSYNC_PERIOD_US):
+        self.width = width
+        self.height = height
+        self.fps_period_us = fps_period_us
+        self._segments: list[VideoSegment] = []
+        self._finalized = False
+
+    # --- recording side -------------------------------------------------------------
+
+    def record_frame(self, frame_index: int, content: Frame) -> None:
+        """Record the display content as of ``frame_index``.
+
+        Gaps since the previous recorded frame are filled with the
+        previous content (the capture card samples a static signal).
+        Re-recording the current index replaces its content (two
+        compositions inside one vsync interval).
+        """
+        if self._finalized:
+            raise CaptureError("video already finalized")
+        if content.shape != (self.height, self.width):
+            raise CaptureError(
+                f"frame shape {content.shape} != video {self.height, self.width}"
+            )
+        digest = content_digest(content)
+        if not self._segments:
+            if frame_index < 0:
+                raise CaptureError("frame index must be >= 0")
+            self._segments.append(
+                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+            )
+            return
+        last = self._segments[-1]
+        if frame_index == last.end - 1:
+            # Same vsync slot composed again: replace.
+            if digest == last.digest:
+                return
+            if last.length == 1:
+                removed = self._segments.pop()
+                prev = self._segments[-1] if self._segments else None
+                if prev is not None and prev.digest == digest:
+                    prev.end = frame_index + 1
+                else:
+                    self._segments.append(
+                        VideoSegment(
+                            removed.start, removed.end, content.copy(), digest
+                        )
+                    )
+            else:
+                last.end = frame_index
+                self._segments.append(
+                    VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+                )
+            return
+        if frame_index < last.end - 1:
+            raise CaptureError(
+                f"frame {frame_index} recorded after frame {last.end - 1}"
+            )
+        # Fill the still gap, then start a new segment if content changed.
+        last.end = frame_index
+        if digest == last.digest:
+            last.end = frame_index + 1
+        else:
+            self._segments.append(
+                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+            )
+
+    def finalize(self, end_frame_index: int) -> None:
+        """Extend the last still period to the capture stop point."""
+        if not self._segments:
+            raise CaptureError("cannot finalize an empty video")
+        last = self._segments[-1]
+        if end_frame_index < last.end:
+            raise CaptureError("finalize cannot truncate the video")
+        last.end = end_frame_index
+        self._finalized = True
+
+    # --- read side ---------------------------------------------------------------------
+
+    @property
+    def start_frame(self) -> int:
+        if not self._segments:
+            raise CaptureError("video is empty")
+        return self._segments[0].start
+
+    @property
+    def end_frame(self) -> int:
+        """One past the last frame index."""
+        if not self._segments:
+            raise CaptureError("video is empty")
+        return self._segments[-1].end
+
+    @property
+    def frame_count(self) -> int:
+        return self.end_frame - self.start_frame
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segments(self) -> list[VideoSegment]:
+        return list(self._segments)
+
+    def segments_between(self, start: int, end: int) -> Iterator[VideoSegment]:
+        """Segments overlapping frame range ``[start, end)``, clipped."""
+        for segment in self._segments:
+            if segment.end <= start:
+                continue
+            if segment.start >= end:
+                break
+            yield VideoSegment(
+                max(segment.start, start),
+                min(segment.end, end),
+                segment.content,
+                segment.digest,
+            )
+
+    def frame_at(self, frame_index: int) -> Frame:
+        """The content shown during frame ``frame_index``."""
+        segment = self._segment_for(frame_index)
+        return segment.content
+
+    def digest_at(self, frame_index: int) -> bytes:
+        return self._segment_for(frame_index).digest
+
+    def _segment_for(self, frame_index: int) -> VideoSegment:
+        lo, hi = 0, len(self._segments) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            segment = self._segments[mid]
+            if frame_index < segment.start:
+                hi = mid - 1
+            elif frame_index >= segment.end:
+                lo = mid + 1
+            else:
+                return segment
+        raise CaptureError(f"frame {frame_index} outside video range")
+
+    def iter_frames(self, start: int | None = None, end: int | None = None):
+        """Yield ``(frame_index, content)`` for every frame — the exact
+        frame-by-frame view the paper's algorithms are defined over."""
+        start = self.start_frame if start is None else start
+        end = self.end_frame if end is None else end
+        for segment in self.segments_between(start, end):
+            for index in range(segment.start, segment.end):
+                yield index, segment.content
+
+    def frame_time_us(self, frame_index: int) -> int:
+        """Timestamp of a frame's vsync boundary."""
+        return frame_timestamp(frame_index)

@@ -1,0 +1,139 @@
+"""Deterministic event-driven simulation engine.
+
+The engine owns a :class:`~repro.core.simtime.SimClock` and a priority queue
+of scheduled callbacks.  Events firing at the same timestamp are ordered by
+an explicit priority, then by insertion order, which makes every simulation
+fully deterministic regardless of Python hash seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import SimulationError
+from repro.core.simtime import SimClock
+
+# Priorities for same-timestamp ordering.  Lower runs first.  Input events
+# are delivered before governor timers so that the interactive governor's
+# input boost sees the event in the same sample it arrived, as on Linux
+# where the input notifier fires from the event path itself.
+PRIORITY_INPUT = 0
+PRIORITY_TASK = 10
+PRIORITY_TIMER = 20
+PRIORITY_RENDER = 30
+PRIORITY_DEFAULT = 50
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled to fire at a simulation timestamp."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event simulation loop."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self._queue: list[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < {self.clock.now}"
+            )
+        event = ScheduledEvent(time, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, priority)
+
+    def run_until(self, end_time: int) -> None:
+        """Fire all events up to and including ``end_time``.
+
+        The clock finishes exactly at ``end_time`` even if the queue drains
+        earlier, so that end-of-run accounting (energy integration, final
+        frame capture) sees the full interval.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.clock.advance_to(event.time)
+                self._fired += 1
+                event.callback()
+            self.clock.advance_to(max(self.clock.now, end_time))
+        finally:
+            self._running = False
+
+    def run_until_idle(self, limit: int | None = None) -> None:
+        """Fire events until the queue is empty (or ``limit`` is reached)."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if limit is not None and event.time > limit:
+                    # Put it back: caller only wanted progress up to limit.
+                    heapq.heappush(self._queue, event)
+                    break
+                self.clock.advance_to(event.time)
+                self._fired += 1
+                event.callback()
+        finally:
+            self._running = False

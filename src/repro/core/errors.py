@@ -1,0 +1,39 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine or a device model reached an invalid state."""
+
+
+class ReplayError(ReproError):
+    """An event trace could not be recorded, parsed or replayed."""
+
+
+class CaptureError(ReproError):
+    """Screen capture failed or a video container is inconsistent."""
+
+
+class AnnotationError(ReproError):
+    """A workload annotation could not be created or loaded."""
+
+
+class MatchError(ReproError):
+    """The matcher failed to locate an expected lag ending in a video."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or cannot be synthesised."""
+
+
+class GovernorError(ReproError):
+    """A frequency governor was misconfigured or misused."""

@@ -1,0 +1,37 @@
+"""The simulated mobile device.
+
+Substitutes for the paper's Qualcomm Dragonboard APQ8074: a single active
+Krait core with the 14 published OPPs, a cpufreq-style DVFS layer, an
+evdev-like input subsystem, a framebuffer display with vsync, and a power
+model calibrated the way the paper calibrates theirs (CPU-bound
+microbenchmark per frequency, idle power subtracted).
+"""
+
+from repro.device.cpu import CpuCore
+from repro.device.cpufreq import CpuFreqPolicy
+from repro.device.device import Device, DeviceConfig
+from repro.device.display import Display
+from repro.device.frequencies import (
+    FrequencyTable,
+    OperatingPoint,
+    snapdragon_8074_table,
+)
+from repro.device.input_device import InputDeviceNode, InputSubsystem
+from repro.device.power import EnergyMeter, PowerModel
+from repro.device.touchscreen import Touchscreen
+
+__all__ = [
+    "CpuCore",
+    "CpuFreqPolicy",
+    "Device",
+    "DeviceConfig",
+    "Display",
+    "FrequencyTable",
+    "OperatingPoint",
+    "snapdragon_8074_table",
+    "InputDeviceNode",
+    "InputSubsystem",
+    "EnergyMeter",
+    "PowerModel",
+    "Touchscreen",
+]

@@ -1,0 +1,163 @@
+"""The single active CPU core.
+
+The paper disables all but one core of the quad-core Snapdragon 8074 to
+reduce load-balancing noise; we model that single core.  The core tracks
+busy/idle state, cycle throughput at the current frequency, per-frequency
+residency (the ``/sys`` cpufreq ``time_in_state`` equivalent) and feeds the
+energy meter.  Task execution itself lives in :mod:`repro.kernel.scheduler`;
+the core is the mechanism, the scheduler the policy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.errors import SimulationError
+from repro.core.simtime import SimClock
+from repro.device.frequencies import FrequencyTable
+from repro.device.power import EnergyMeter, PowerModel
+
+
+class CpuCore:
+    """One core with DVFS, busy accounting and energy metering."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        table: FrequencyTable,
+        power_model: PowerModel | None = None,
+    ) -> None:
+        self._clock = clock
+        self._table = table
+        self._power_model = power_model or PowerModel()
+        self._meter = EnergyMeter(self._power_model)
+        self._freq_khz = table.min_khz
+        self._busy = False
+        self._busy_since: int | None = None
+        self._busy_total = 0
+        self._state_since = 0
+        self._time_in_state: dict[int, int] = defaultdict(int)
+        self._transitions = 0
+        self._cycles_retired = 0.0
+        self._busy_trace: list[tuple[int, int]] | None = None
+
+    # --- read-side properties -------------------------------------------------
+
+    @property
+    def table(self) -> FrequencyTable:
+        return self._table
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self._power_model
+
+    @property
+    def frequency_khz(self) -> int:
+        return self._freq_khz
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def transitions(self) -> int:
+        """Number of frequency changes so far (cpufreq ``total_trans``)."""
+        return self._transitions
+
+    @property
+    def cycles_retired(self) -> float:
+        """Total cycles executed so far (updated on state changes)."""
+        return self._cycles_retired
+
+    def busy_time_total(self) -> int:
+        """Cumulative busy microseconds, including the open interval."""
+        total = self._busy_total
+        if self._busy and self._busy_since is not None:
+            total += self._clock.now - self._busy_since
+        return total
+
+    def time_in_state(self) -> dict[int, int]:
+        """Residency per frequency in microseconds, including open interval."""
+        result = dict(self._time_in_state)
+        result[self._freq_khz] = result.get(self._freq_khz, 0) + (
+            self._clock.now - self._state_since
+        )
+        return result
+
+    def energy_joules(self) -> float:
+        """Energy consumed up to the current simulation time."""
+        return self._meter.energy_at(self._clock.now)
+
+    def dynamic_energy_joules(self) -> float:
+        """Energy above the idle floor — the paper's energy metric.
+
+        The paper's power model subtracts idle system power and charges
+        only dynamic core power against the frequency-load profile; the
+        equivalent here is busy-time energy minus the idle power the same
+        interval would have cost anyway.
+        """
+        busy_s = self.busy_time_total() / 1e6
+        busy_energy = self._meter.busy_energy_at(self._clock.now)
+        return busy_energy - self._power_model.idle_power() * busy_s
+
+    def cycles_per_micro(self) -> float:
+        """Cycles retired per microsecond at the current frequency."""
+        return self._freq_khz / 1_000.0
+
+    def enable_busy_trace(self) -> None:
+        """Record (start, end) busy intervals for oracle composition."""
+        if self._busy_trace is None:
+            self._busy_trace = []
+
+    def busy_trace(self) -> list[tuple[int, int]]:
+        """Recorded busy intervals, closing any open one at 'now'."""
+        if self._busy_trace is None:
+            raise SimulationError("busy trace was not enabled on this core")
+        trace = list(self._busy_trace)
+        if self._busy and self._busy_since is not None:
+            if self._clock.now > self._busy_since:
+                trace.append((self._busy_since, self._clock.now))
+        return trace
+
+    # --- state changes ----------------------------------------------------------
+
+    def set_frequency(self, freq_khz: int) -> None:
+        """Switch the core to a new operating point.
+
+        The caller (the cpufreq policy) is responsible for validating the
+        target against policy limits; the core only requires it to be a
+        real OPP.
+        """
+        if not self._table.contains(freq_khz):
+            raise SimulationError(f"{freq_khz} kHz is not an operating point")
+        if freq_khz == self._freq_khz:
+            return
+        now = self._clock.now
+        self._account_open_intervals(now)
+        self._time_in_state[self._freq_khz] += now - self._state_since
+        self._state_since = now
+        self._freq_khz = freq_khz
+        self._transitions += 1
+        point = self._table.point(freq_khz)
+        self._meter.set_state(now, self._busy, freq_khz, point.volts)
+
+    def set_busy(self, busy: bool) -> None:
+        """Mark the core as executing (True) or idle (False)."""
+        if busy == self._busy:
+            return
+        now = self._clock.now
+        self._account_open_intervals(now)
+        self._busy = busy
+        self._busy_since = now if busy else None
+        point = self._table.point(self._freq_khz)
+        self._meter.set_state(now, busy, self._freq_khz, point.volts)
+
+    def _account_open_intervals(self, now: int) -> None:
+        """Close the open busy interval and retire its cycles."""
+        if self._busy and self._busy_since is not None:
+            elapsed = now - self._busy_since
+            self._busy_total += elapsed
+            self._cycles_retired += elapsed * (self._freq_khz / 1_000.0)
+            if self._busy_trace is not None and elapsed > 0:
+                self._busy_trace.append((self._busy_since, now))
+            self._busy_since = now

@@ -1,0 +1,115 @@
+"""cpufreq core: the policy object governors drive.
+
+Mirrors the Linux cpufreq split: the *policy* owns frequency limits,
+validates and clamps targets, applies them to the core and keeps the
+transition trace that the experiment harness later overlays with lag
+profiles (the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import GovernorError
+from repro.core.simtime import SimClock
+from repro.device.cpu import CpuCore
+
+# Relation semantics from the Linux cpufreq API.
+RELATION_LOW = "low"  # highest frequency <= target
+RELATION_HIGH = "high"  # lowest frequency >= target
+
+
+@dataclass(frozen=True, slots=True)
+class FrequencyTransition:
+    """One DVFS transition: when and to what frequency."""
+
+    timestamp: int
+    freq_khz: int
+
+
+class CpuFreqPolicy:
+    """Frequency limits + target application for one core."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        core: CpuCore,
+        min_khz: int | None = None,
+        max_khz: int | None = None,
+    ) -> None:
+        table = core.table
+        self._clock = clock
+        self._core = core
+        self._min_khz = table.ceil(min_khz) if min_khz else table.min_khz
+        self._max_khz = table.floor(max_khz) if max_khz else table.max_khz
+        if self._min_khz > self._max_khz:
+            raise GovernorError(
+                f"policy min {self._min_khz} above max {self._max_khz}"
+            )
+        self._transitions: list[FrequencyTransition] = [
+            FrequencyTransition(clock.now, core.frequency_khz)
+        ]
+        self._observers: list[Callable[[int, int], None]] = []
+
+    @property
+    def core(self) -> CpuCore:
+        return self._core
+
+    @property
+    def min_khz(self) -> int:
+        return self._min_khz
+
+    @property
+    def max_khz(self) -> int:
+        return self._max_khz
+
+    @property
+    def current_khz(self) -> int:
+        return self._core.frequency_khz
+
+    @property
+    def transitions(self) -> list[FrequencyTransition]:
+        """The frequency trace: every transition with its timestamp."""
+        return list(self._transitions)
+
+    def add_transition_observer(
+        self, observer: Callable[[int, int], None]
+    ) -> None:
+        """Register ``observer(timestamp, freq_khz)`` for every transition."""
+        self._observers.append(observer)
+
+    def clamp(self, freq_khz: int) -> int:
+        """Clamp a raw target into the policy limits."""
+        return max(self._min_khz, min(self._max_khz, freq_khz))
+
+    def set_target(self, freq_khz: int, relation: str = RELATION_LOW) -> int:
+        """Resolve a target against the OPP table and apply it.
+
+        Returns the frequency actually set.
+        """
+        table = self._core.table
+        clamped = self.clamp(freq_khz)
+        if relation == RELATION_LOW:
+            resolved = table.floor(clamped)
+        elif relation == RELATION_HIGH:
+            resolved = table.ceil(clamped)
+        else:
+            raise GovernorError(f"unknown relation {relation!r}")
+        resolved = self.clamp(resolved)
+        if resolved != self._core.frequency_khz:
+            self._core.set_frequency(resolved)
+            transition = FrequencyTransition(self._clock.now, resolved)
+            self._transitions.append(transition)
+            for observer in self._observers:
+                observer(transition.timestamp, transition.freq_khz)
+        return resolved
+
+    def frequency_at(self, timestamp: int) -> int:
+        """Frequency in force at ``timestamp`` according to the trace."""
+        result = self._transitions[0].freq_khz
+        for transition in self._transitions:
+            if transition.timestamp > timestamp:
+                break
+            result = transition.freq_khz
+        return result

@@ -1,0 +1,39 @@
+"""Per-sample CPU load computation.
+
+Linux cpufreq governors sample the fraction of wall time the core spent
+non-idle since the previous sample.  The tracker wraps the core's cumulative
+busy counter and turns it into the 0-100 load percentage the governor state
+machines consume.
+"""
+
+from __future__ import annotations
+
+from repro.core.simtime import SimClock
+from repro.device.cpu import CpuCore
+
+
+class LoadTracker:
+    """Computes load over the window since the previous sample."""
+
+    def __init__(self, clock: SimClock, core: CpuCore) -> None:
+        self._clock = clock
+        self._core = core
+        self._last_time = clock.now
+        self._last_busy = core.busy_time_total()
+
+    def sample(self) -> int:
+        """Load percentage (0-100) since the last call, then reset."""
+        now = self._clock.now
+        busy = self._core.busy_time_total()
+        window = now - self._last_time
+        busy_delta = busy - self._last_busy
+        self._last_time = now
+        self._last_busy = busy
+        if window <= 0:
+            return 100 if self._core.busy else 0
+        load = round(100 * busy_delta / window)
+        return max(0, min(100, load))
+
+    def peek_window(self) -> int:
+        """Microseconds elapsed since the last sample (without resetting)."""
+        return self._clock.now - self._last_time

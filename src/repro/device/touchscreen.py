@@ -1,0 +1,147 @@
+"""Touchscreen driver: gestures in, multi-touch protocol-B events out.
+
+When a (synthetic) user performs a tap or swipe, the driver emits the same
+event packets a Galaxy-Nexus-class panel produces: a tracking id, touch
+major, pressure and absolute position, terminated by ``SYN_REPORT``, with
+the contact released via tracking id -1 (``ffffffff`` in getevent output —
+the paper's Fig. 5).  Move packets are sampled at the panel scan rate.
+"""
+
+from __future__ import annotations
+
+from repro.core import events as ev
+from repro.core.engine import PRIORITY_INPUT, Engine
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point
+from repro.device.input_device import InputDeviceNode
+
+TOUCH_PANEL_SCAN_HZ = 90
+TOUCH_PANEL_SCAN_PERIOD_US = 1_000_000 // TOUCH_PANEL_SCAN_HZ
+
+# Typical contact parameters reported by the panel firmware.
+DEFAULT_TOUCH_MAJOR = 0x0E
+DEFAULT_PRESSURE = 0x81
+
+TAP_HOLD_US = 70_000  # finger-down time of a quick tap
+
+
+class Touchscreen:
+    """Encodes gestures into kernel input events on a device node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: InputDeviceNode,
+        width: int,
+        height: int,
+    ) -> None:
+        self._engine = engine
+        self._node = node
+        self._width = width
+        self._height = height
+        self._next_tracking_id = 3  # ids are arbitrary; Fig. 5 starts at 3
+        self._contact_active = False
+
+    @property
+    def node(self) -> InputDeviceNode:
+        return self._node
+
+    def schedule_tap(self, at: int, point: Point, hold_us: int = TAP_HOLD_US) -> int:
+        """Schedule a tap gesture starting at time ``at``.
+
+        Returns the finger-up timestamp.
+        """
+        self._check_point(point)
+        tracking_id = self._take_tracking_id()
+        self._engine.schedule_at(
+            at,
+            lambda: self._emit_down(point, tracking_id),
+            priority=PRIORITY_INPUT,
+        )
+        up_time = at + hold_us
+        self._engine.schedule_at(up_time, self._emit_up, priority=PRIORITY_INPUT)
+        return up_time
+
+    def schedule_swipe(
+        self,
+        at: int,
+        start: Point,
+        end: Point,
+        duration_us: int,
+    ) -> int:
+        """Schedule a swipe gesture; returns the finger-up timestamp."""
+        self._check_point(start)
+        self._check_point(end)
+        if duration_us <= 0:
+            raise SimulationError("swipe duration must be positive")
+        tracking_id = self._take_tracking_id()
+        self._engine.schedule_at(
+            at,
+            lambda: self._emit_down(start, tracking_id),
+            priority=PRIORITY_INPUT,
+        )
+        steps = max(1, duration_us // TOUCH_PANEL_SCAN_PERIOD_US)
+        for step in range(1, steps + 1):
+            fraction = step / steps
+            point = Point(
+                round(start.x + (end.x - start.x) * fraction),
+                round(start.y + (end.y - start.y) * fraction),
+            )
+            when = at + step * duration_us // (steps + 1)
+            self._engine.schedule_at(
+                when,
+                lambda p=point: self._emit_move(p),
+                priority=PRIORITY_INPUT,
+            )
+        up_time = at + duration_us
+        self._engine.schedule_at(up_time, self._emit_up, priority=PRIORITY_INPUT)
+        return up_time
+
+    # --- packet emission -------------------------------------------------------
+
+    def _emit_down(self, point: Point, tracking_id: int) -> None:
+        now = self._engine.now
+        self._contact_active = True
+        self._abs(now, ev.ABS_MT_TRACKING_ID, tracking_id)
+        self._abs(now, ev.ABS_MT_TOUCH_MAJOR, DEFAULT_TOUCH_MAJOR)
+        self._abs(now, ev.ABS_MT_PRESSURE, DEFAULT_PRESSURE)
+        self._abs(now, ev.ABS_MT_POSITION_X, point.x)
+        self._abs(now, ev.ABS_MT_POSITION_Y, point.y)
+        self._syn(now)
+
+    def _emit_move(self, point: Point) -> None:
+        if not self._contact_active:
+            return
+        now = self._engine.now
+        self._abs(now, ev.ABS_MT_POSITION_X, point.x)
+        self._abs(now, ev.ABS_MT_POSITION_Y, point.y)
+        self._syn(now)
+
+    def _emit_up(self) -> None:
+        now = self._engine.now
+        self._contact_active = False
+        self._abs(now, ev.ABS_MT_TRACKING_ID, ev.TRACKING_ID_NONE)
+        self._syn(now)
+
+    def _abs(self, timestamp: int, code: int, value: int) -> None:
+        self._node.emit(
+            ev.InputEvent(timestamp, self._node.path, ev.EV_ABS, code, value)
+        )
+
+    def _syn(self, timestamp: int) -> None:
+        self._node.emit(
+            ev.InputEvent(
+                timestamp, self._node.path, ev.EV_SYN, ev.SYN_REPORT, 0
+            )
+        )
+
+    def _take_tracking_id(self) -> int:
+        tracking_id = self._next_tracking_id
+        self._next_tracking_id = (self._next_tracking_id + 1) & 0xFFFF
+        return tracking_id
+
+    def _check_point(self, point: Point) -> None:
+        if not (0 <= point.x < self._width and 0 <= point.y < self._height):
+            raise SimulationError(
+                f"touch point {point} outside {self._width}x{self._height} panel"
+            )

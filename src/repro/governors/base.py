@@ -1,0 +1,108 @@
+"""Governor framework.
+
+A governor receives a :class:`GovernorContext` — the engine (for sampling
+timers), the cpufreq policy it drives, a load tracker over the core, and
+the input subsystem (the interactive governor registers an input notifier
+there, as its Linux counterpart does via ``input_handler``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Type
+
+from repro.core.engine import Engine
+from repro.core.errors import GovernorError
+from repro.device.cpufreq import CpuFreqPolicy
+from repro.device.input_device import InputSubsystem
+from repro.device.loadtracker import LoadTracker
+
+
+@dataclass(slots=True)
+class GovernorContext:
+    """Everything a governor may touch.
+
+    ``scheduler`` is optional and only used by the experimental QoE-aware
+    governor, which consults run-queue idleness the way the paper's
+    proposed in-display-stack governor would consult interaction state.
+    """
+
+    engine: Engine
+    policy: CpuFreqPolicy
+    load_tracker: LoadTracker
+    input_subsystem: InputSubsystem | None = None
+    scheduler: object | None = None
+
+
+class Governor(ABC):
+    """Base class for all DVFS governors."""
+
+    #: sysfs-style governor name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, context: GovernorContext) -> None:
+        self.context = context
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def policy(self) -> CpuFreqPolicy:
+        return self.context.policy
+
+    def start(self) -> None:
+        """Activate the governor (cpufreq ``GOV_START``)."""
+        if self._active:
+            raise GovernorError(f"governor {self.name} already started")
+        self._active = True
+        self._on_start()
+
+    def stop(self) -> None:
+        """Deactivate the governor (cpufreq ``GOV_STOP``)."""
+        if not self._active:
+            return
+        self._active = False
+        self._on_stop()
+
+    @abstractmethod
+    def _on_start(self) -> None:
+        """Subclass hook: arm timers, set the initial frequency."""
+
+    @abstractmethod
+    def _on_stop(self) -> None:
+        """Subclass hook: cancel timers, detach notifiers."""
+
+
+_REGISTRY: dict[str, Callable[..., Governor]] = {}
+
+
+def register_governor(name: str, factory: Callable[..., Governor]) -> None:
+    """Register a governor under its sysfs-style name."""
+    if name in _REGISTRY:
+        raise GovernorError(f"governor {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def registered_governors() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def create_governor(name: str, context: GovernorContext, **tunables) -> Governor:
+    """Instantiate a governor by name, passing tunables through.
+
+    ``userspace`` style names like ``fixed:960000`` select the userspace
+    governor pinned at the given frequency.
+    """
+    if name.startswith("fixed:"):
+        khz = int(name.split(":", 1)[1])
+        factory = _REGISTRY["userspace"]
+        return factory(context, fixed_khz=khz, **tunables)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_governors())
+        raise GovernorError(f"unknown governor {name!r} (known: {known})") from None
+    return factory(context, **tunables)

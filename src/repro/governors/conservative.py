@@ -1,0 +1,78 @@
+"""The conservative governor.
+
+``cpufreq_conservative.c`` semantics: instead of jumping to the maximum,
+step the frequency up by ``freq_step`` percent of the policy maximum when
+the load exceeds ``up_threshold``, and step down when it falls below
+``down_threshold``.  The gradual ramp is what makes it "change the load
+more smoothly … and stay longer in intermediate steps" (paper §III-B) —
+and also what makes it by far the most irritating governor in the study.
+"""
+
+from __future__ import annotations
+
+from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
+from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.kernel.timers import PeriodicTimer
+
+# Conservative samples at twice ondemand's period on the study's kernel
+# and steps 5% of fmax per sample — the source of its slow ramp.
+DEFAULT_SAMPLING_RATE_US = 200_000
+DEFAULT_UP_THRESHOLD = 80
+DEFAULT_DOWN_THRESHOLD = 20
+DEFAULT_FREQ_STEP_PERCENT = 5
+
+
+class ConservativeGovernor(Governor):
+    """Gradual stepping load-threshold governor."""
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        context: GovernorContext,
+        sampling_rate_us: int = DEFAULT_SAMPLING_RATE_US,
+        up_threshold: int = DEFAULT_UP_THRESHOLD,
+        down_threshold: int = DEFAULT_DOWN_THRESHOLD,
+        freq_step_percent: int = DEFAULT_FREQ_STEP_PERCENT,
+    ) -> None:
+        super().__init__(context)
+        if not 0 < down_threshold < up_threshold <= 100:
+            raise ValueError("need 0 < down_threshold < up_threshold <= 100")
+        if not 1 <= freq_step_percent <= 100:
+            raise ValueError("freq_step_percent must be in 1..100")
+        self.sampling_rate_us = sampling_rate_us
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.freq_step_percent = freq_step_percent
+        self._timer = PeriodicTimer(context.engine, sampling_rate_us, self._sample)
+        self.samples_taken = 0
+
+    @property
+    def freq_step_khz(self) -> int:
+        step = self.policy.max_khz * self.freq_step_percent // 100
+        return max(step, 1)
+
+    def _on_start(self) -> None:
+        self.context.load_tracker.sample()
+        self._timer.start()
+
+    def _on_stop(self) -> None:
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        load = self.context.load_tracker.sample()
+        self.samples_taken += 1
+        policy = self.policy
+        current = policy.current_khz
+        if load > self.up_threshold:
+            if current < policy.max_khz:
+                policy.set_target(current + self.freq_step_khz, RELATION_HIGH)
+        elif load < self.down_threshold:
+            if current > policy.min_khz:
+                policy.set_target(
+                    max(current - self.freq_step_khz, policy.min_khz),
+                    RELATION_LOW,
+                )
+
+
+register_governor("conservative", ConservativeGovernor)

@@ -1,0 +1,34 @@
+"""The trivial bound governors: performance and powersave."""
+
+from __future__ import annotations
+
+from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
+from repro.governors.base import Governor, GovernorContext, register_governor
+
+
+class PerformanceGovernor(Governor):
+    """Pin the core at the policy maximum."""
+
+    name = "performance"
+
+    def _on_start(self) -> None:
+        self.policy.set_target(self.policy.max_khz, RELATION_HIGH)
+
+    def _on_stop(self) -> None:
+        pass
+
+
+class PowersaveGovernor(Governor):
+    """Pin the core at the policy minimum."""
+
+    name = "powersave"
+
+    def _on_start(self) -> None:
+        self.policy.set_target(self.policy.min_khz, RELATION_LOW)
+
+    def _on_stop(self) -> None:
+        pass
+
+
+register_governor("performance", PerformanceGovernor)
+register_governor("powersave", PowersaveGovernor)

@@ -1,0 +1,99 @@
+"""QoE-aware governor — the paper's future-work direction, implemented.
+
+The paper's §VI proposes integrating the user-irritation metric into the
+display stack "in order to make energy efficient frequency governor
+decisions at runtime".  The oracle (Fig. 3, bold line) raises the frequency
+immediately after an input and holds it just long enough for the
+interaction to complete, then returns to the most energy-efficient
+frequency.
+
+This governor approximates that behaviour online, without the oracle's
+post-hoc knowledge: on any input event it boosts to a configurable service
+frequency; it holds that frequency while the run queue has work (the
+interaction is still being serviced); once the system has been idle for a
+settle period it drops to the most energy-efficient operating point rather
+than to the minimum — exploiting race-to-idle exactly as the oracle does
+for non-lag intervals.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import InputEvent
+from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
+from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.kernel.timers import PeriodicTimer
+
+DEFAULT_TIMER_RATE_US = 20_000
+DEFAULT_SETTLE_TIME_US = 60_000
+
+
+class QoeAwareGovernor(Governor):
+    """Boost on input, hold while servicing, settle at the efficient OPP."""
+
+    name = "qoe_aware"
+
+    def __init__(
+        self,
+        context: GovernorContext,
+        boost_freq_khz: int | None = None,
+        timer_rate_us: int = DEFAULT_TIMER_RATE_US,
+        settle_time_us: int = DEFAULT_SETTLE_TIME_US,
+    ) -> None:
+        super().__init__(context)
+        table = context.policy.core.table
+        model = context.policy.core.power_model
+        self.efficient_khz = model.most_efficient_frequency(table)
+        if boost_freq_khz is None:
+            # Default boost: two OPPs above the efficient point — enough to
+            # service common interactions within their HCI deadline without
+            # paying the full high-voltage premium.
+            boost_freq_khz = table.step_up(self.efficient_khz, 2)
+        self.boost_freq_khz = boost_freq_khz
+        self.settle_time_us = settle_time_us
+        self._timer = PeriodicTimer(context.engine, timer_rate_us, self._sample)
+        self._idle_since: int | None = None
+        self.input_boosts = 0
+
+    def _on_start(self) -> None:
+        self.policy.set_target(self.efficient_khz, RELATION_HIGH)
+        self._idle_since = self.context.engine.now
+        self._timer.start()
+        if self.context.input_subsystem is not None:
+            for node in self.context.input_subsystem.nodes():
+                node.add_observer(self._on_input_event)
+
+    def _on_stop(self) -> None:
+        self._timer.stop()
+        if self.context.input_subsystem is not None:
+            for node in self.context.input_subsystem.nodes():
+                try:
+                    node.remove_observer(self._on_input_event)
+                except ValueError:
+                    pass
+
+    def _on_input_event(self, event: InputEvent) -> None:
+        if not self._active:
+            return
+        self.input_boosts += 1
+        self._idle_since = None
+        if self.policy.current_khz < self.boost_freq_khz:
+            self.policy.set_target(self.boost_freq_khz, RELATION_HIGH)
+
+    def _sample(self) -> None:
+        scheduler = self.context.scheduler
+        now = self.context.engine.now
+        busy = bool(getattr(scheduler, "queued_tasks", 0)) or (
+            getattr(scheduler, "current_task", None) is not None
+        )
+        if busy:
+            self._idle_since = None
+            return
+        if self._idle_since is None:
+            self._idle_since = now
+            return
+        if now - self._idle_since >= self.settle_time_us:
+            if self.policy.current_khz != self.efficient_khz:
+                self.policy.set_target(self.efficient_khz, RELATION_LOW)
+
+
+register_governor("qoe_aware", QoeAwareGovernor)

@@ -1,0 +1,22 @@
+"""Experiment orchestration: recording, replay sweeps, figure regeneration."""
+
+from repro.harness.experiment import (
+    RECORDING_FREQ_KHZ,
+    RunResult,
+    WorkloadArtifacts,
+    record_workload,
+    replay_run,
+)
+from repro.harness.sweep import SweepResult, governor_configs, run_sweep, sweep_configs
+
+__all__ = [
+    "RECORDING_FREQ_KHZ",
+    "RunResult",
+    "WorkloadArtifacts",
+    "record_workload",
+    "replay_run",
+    "SweepResult",
+    "run_sweep",
+    "sweep_configs",
+    "governor_configs",
+]

@@ -1,0 +1,137 @@
+"""Command-line interface: run the study end to end.
+
+Examples::
+
+    repro-qoe table1
+    repro-qoe classify --datasets 01 02 03 04 05
+    repro-qoe sweep --dataset 02 --reps 5
+    repro-qoe study --reps 2            # all datasets, Figs. 12-14 + headline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import figures
+from repro.harness.experiment import record_workload
+from repro.harness.sweep import run_sweep
+from repro.workloads.datasets import dataset, dataset_names
+
+
+def _progress(prefix: str):
+    def report(config: str, rep: int) -> None:
+        print(f"  {prefix}: {config} rep {rep}", file=sys.stderr)
+
+    return report
+
+
+def cmd_table1(_args) -> int:
+    print(figures.render_table1())
+    return 0
+
+
+def cmd_classify(args) -> int:
+    artifacts = [record_workload(dataset(name)) for name in args.datasets]
+    print(figures.render_fig10(artifacts))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    t0 = time.time()
+    artifacts = record_workload(dataset(args.dataset))
+    sweep = run_sweep(
+        artifacts,
+        reps=args.reps,
+        progress=_progress(args.dataset) if args.verbose else None,
+    )
+    print(f"# dataset {args.dataset}: {artifacts.input_count} inputs, "
+          f"{artifacts.database.lag_count} lags "
+          f"({time.time() - t0:.1f}s wall)")
+    print()
+    print("Fig. 11 — lag duration distributions")
+    print(figures.render_fig11(sweep))
+    print()
+    print("Fig. 12 — irritation and energy")
+    print(figures.render_fig12(sweep))
+    print()
+    print("Fig. 13 — energy vs irritation")
+    print(figures.render_fig13(sweep))
+    return 0
+
+
+def cmd_study(args) -> int:
+    sweeps = {}
+    artifacts_list = []
+    for name in args.datasets:
+        artifacts = record_workload(dataset(name))
+        artifacts_list.append(artifacts)
+        sweeps[name] = run_sweep(
+            artifacts,
+            reps=args.reps,
+            progress=_progress(name) if args.verbose else None,
+        )
+    print("Fig. 10 — input classification")
+    print(figures.render_fig10(artifacts_list))
+    print()
+    print("Fig. 14 — summary")
+    print(figures.render_fig14(sweeps))
+    print()
+    savings = figures.headline_savings(sweeps)
+    print("Headline savings")
+    for key, value in savings.items():
+        print(f"  {key}: {100 * value:.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qoe",
+        description=(
+            "Reproduction of Seeker et al., 'Measuring QoE of Interactive "
+            "Workloads and Characterising Frequency Governors on Mobile "
+            "Devices' (IISWC 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="print Table I")
+    p_table1.set_defaults(func=cmd_table1)
+
+    p_classify = sub.add_parser("classify", help="Fig. 10 input classification")
+    p_classify.add_argument(
+        "--datasets", nargs="+", default=dataset_names(), metavar="DS"
+    )
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_sweep = sub.add_parser("sweep", help="one dataset's 85-run sweep")
+    p_sweep.add_argument("--dataset", default="02")
+    p_sweep.add_argument("--reps", type=int, default=5)
+    p_sweep.add_argument("--verbose", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_study = sub.add_parser("study", help="full study: Figs. 10, 14 + headline")
+    p_study.add_argument(
+        "--datasets", nargs="+", default=dataset_names(), metavar="DS"
+    )
+    p_study.add_argument("--reps", type=int, default=5)
+    p_study.add_argument("--verbose", action="store_true")
+    p_study.set_defaults(func=cmd_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: normal exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

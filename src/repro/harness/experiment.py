@@ -1,0 +1,243 @@
+"""Recording and replaying one workload execution.
+
+``record_workload`` performs the paper's part A once per dataset: a
+scripted user exercises the device (pinned at the lowest frequency, so
+recorded timings stay valid at every configuration), the recorder captures
+the getevent trace, the capture card films the screen, and the
+AutoAnnotator builds the annotation database from the suggester's
+candidates.
+
+``replay_run`` is part B, repeatable at will: replay the trace under any
+governor or fixed frequency, film the screen, and let the matcher produce
+the lag profile — plus the energy/frequency/busy traces the study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import AnnotationDatabase, AutoAnnotator, Matcher
+from repro.analysis.classify import InputClassification, classify_workload
+from repro.analysis.lagprofile import LagProfile
+from repro.apps import install_standard_apps
+from repro.apps.services import BackgroundServices
+from repro.capture import CaptureCard
+from repro.core.errors import WorkloadError
+from repro.core.rng import RngStreams
+from repro.core.simtime import seconds
+from repro.device.device import Device, DeviceConfig
+from repro.metrics.hci import SHNEIDERMAN_MODEL, HciModel
+from repro.oracle.builder import BusyTimeline
+from repro.replay import GeteventRecorder, ReplayAgent
+from repro.replay.trace import EventTrace
+from repro.uifw.view import WindowManager
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.sessions import ScriptedUser
+
+RECORDING_FREQ_KHZ = 300_000
+QUIESCENCE_LIMIT_US = seconds(120)
+RUN_TAIL_US = seconds(5)
+DEFAULT_MASTER_SEED = 2014
+
+
+def _build_device(
+    governor: str,
+    noise_streams: RngStreams,
+    device_config: DeviceConfig | None = None,
+    **governor_tunables,
+) -> tuple[Device, WindowManager, BackgroundServices]:
+    device = Device(device_config)
+    wm = WindowManager(device)
+    install_standard_apps(wm)
+    services = BackgroundServices(
+        device.engine, device.scheduler, noise_streams.stream("services")
+    )
+    services.start()
+    device.set_governor(governor, **governor_tunables)
+    return device, wm, services
+
+
+@dataclass(slots=True)
+class WorkloadArtifacts:
+    """Everything needed to replay and evaluate a recorded workload."""
+
+    spec: DatasetSpec
+    trace: EventTrace
+    database: AnnotationDatabase
+    duration_us: int
+    classification: InputClassification
+    recording_master_seed: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def input_count(self) -> int:
+        return len(self.database.gestures)
+
+    def save(self, directory) -> None:
+        """Persist trace + annotation database + metadata to a directory.
+
+        A saved workload is the paper's reusable artefact: "the workload
+        will be reusable time and again".
+        """
+        import json
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.trace.save(directory / "trace.getevent")
+        self.database.save(directory / "annotations")
+        meta = {
+            "dataset": self.spec.name,
+            "duration_us": self.duration_us,
+            "recording_master_seed": self.recording_master_seed,
+            "classification": self.classification.as_row(),
+        }
+        (directory / "meta.json").write_text(
+            json.dumps(meta, indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory) -> "WorkloadArtifacts":
+        """Load artifacts previously written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        from repro.workloads.datasets import dataset as dataset_lookup
+
+        directory = Path(directory)
+        meta = json.loads((directory / "meta.json").read_text(encoding="utf-8"))
+        trace = EventTrace.load(directory / "trace.getevent")
+        database = AnnotationDatabase.load(directory / "annotations")
+        spec = dataset_lookup(meta["dataset"])
+        classification = classify_workload(meta["dataset"], trace, database)
+        return cls(
+            spec=spec,
+            trace=trace,
+            database=database,
+            duration_us=meta["duration_us"],
+            classification=classification,
+            recording_master_seed=meta["recording_master_seed"],
+        )
+
+
+@dataclass(slots=True)
+class RunResult:
+    """One workload execution under one configuration."""
+
+    workload: str
+    config: str
+    rep: int
+    duration_us: int
+    energy_j: float
+    dynamic_energy_j: float
+    busy_us: int
+    transitions: list[tuple[int, int]]
+    lag_profile: LagProfile
+    busy_timeline: BusyTimeline
+
+    def irritation_seconds(self, model: HciModel | None = None) -> float:
+        return self.lag_profile.irritation(model).total_seconds
+
+
+def record_workload(
+    spec: DatasetSpec,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    hci_model: HciModel = SHNEIDERMAN_MODEL,
+    device_config: DeviceConfig | None = None,
+) -> WorkloadArtifacts:
+    """Record, capture and annotate one dataset (paper Fig. 4, part A)."""
+    streams = RngStreams(master_seed).fork(f"dataset:{spec.name}")
+    device, wm, _services = _build_device(
+        f"fixed:{RECORDING_FREQ_KHZ}",
+        streams.fork("record-noise"),
+        device_config,
+    )
+    recorder = GeteventRecorder(device.input_subsystem)
+    recorder.start()
+    card = CaptureCard(device.display)
+    card.start(device.engine.now)
+
+    user = ScriptedUser(wm, spec.plan(streams.stream("plan")), spec.duration_us)
+    user.start()
+    device.run_for(spec.duration_us)
+
+    # Let the last interaction finish rendering before cutting the video.
+    waited = 0
+    while (
+        any(not r.complete for r in wm.journal.interactions)
+        and waited < QUIESCENCE_LIMIT_US
+    ):
+        device.run_for(seconds(1))
+        waited += seconds(1)
+    if any(not r.complete for r in wm.journal.interactions):
+        raise WorkloadError(
+            f"dataset {spec.name}: interactions still pending "
+            f"{QUIESCENCE_LIMIT_US} us after the session deadline"
+        )
+    device.run_for(seconds(2))
+
+    trace = recorder.stop()
+    video = card.stop(device.engine.now)
+    duration_us = device.engine.now
+
+    annotator = AutoAnnotator(spec.name, hci_model=hci_model)
+    database = annotator.annotate(video, wm.journal)
+    classification = classify_workload(spec.name, trace, database)
+    return WorkloadArtifacts(
+        spec=spec,
+        trace=trace,
+        database=database,
+        duration_us=duration_us,
+        classification=classification,
+        recording_master_seed=master_seed,
+    )
+
+
+def replay_run(
+    artifacts: WorkloadArtifacts,
+    config: str,
+    rep: int = 0,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    device_config: DeviceConfig | None = None,
+    **governor_tunables,
+) -> RunResult:
+    """Replay a recorded workload under a configuration (part B).
+
+    ``config`` is a governor name (``ondemand``, ``conservative``,
+    ``interactive``, …) or ``fixed:<khz>`` for one of the 14 operating
+    points.
+    """
+    streams = RngStreams(master_seed).fork(
+        f"replay:{artifacts.name}:{config}:{rep}"
+    )
+    device, wm, _services = _build_device(
+        config, streams, device_config, **governor_tunables
+    )
+    device.cpu.enable_busy_trace()
+    agent = ReplayAgent(device.engine, device.input_subsystem)
+    agent.schedule(artifacts.trace)
+    card = CaptureCard(device.display)
+    card.start(device.engine.now)
+
+    run_window = artifacts.duration_us + RUN_TAIL_US
+    device.run_for(run_window)
+
+    video = card.stop(device.engine.now)
+    profile = Matcher(artifacts.database).match(video)
+    return RunResult(
+        workload=artifacts.name,
+        config=config,
+        rep=rep,
+        duration_us=run_window,
+        energy_j=device.cpu.energy_joules(),
+        dynamic_energy_j=device.cpu.dynamic_energy_joules(),
+        busy_us=device.cpu.busy_time_total(),
+        transitions=[
+            (t.timestamp, t.freq_khz) for t in device.policy.transitions
+        ],
+        lag_profile=profile,
+        busy_timeline=BusyTimeline(device.cpu.busy_trace()),
+    )

@@ -1,0 +1,154 @@
+"""The full study sweep (paper §III-A).
+
+"We replay each of them for each available core frequency … We also
+replayed each workload for each of the three governors.  To reduce the
+statistical error, we repeat this process 5 times per workload.
+Altogether we execute each workload 5 * (14 + 3) = 85 times."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import ReproError
+from repro.device.frequencies import FrequencyTable, snapdragon_8074_table
+from repro.device.power import PowerModel
+from repro.harness.experiment import RunResult, WorkloadArtifacts, replay_run
+from repro.metrics.hci import HciModel
+from repro.oracle.builder import OracleResult, build_oracle
+
+GOVERNORS = ("conservative", "interactive", "ondemand")
+
+
+def governor_configs() -> list[str]:
+    return list(GOVERNORS)
+
+
+def fixed_configs(table: FrequencyTable | None = None) -> list[str]:
+    table = table or snapdragon_8074_table()
+    return [f"fixed:{khz}" for khz in table.frequencies_khz]
+
+
+def sweep_configs(table: FrequencyTable | None = None) -> list[str]:
+    """The 17 configurations of the study: 14 fixed + 3 governors."""
+    return fixed_configs(table) + governor_configs()
+
+
+def config_label(config: str, table: FrequencyTable | None = None) -> str:
+    """Axis label: '0.96 GHz' for fixed configs, the name otherwise."""
+    if config.startswith("fixed:"):
+        table = table or snapdragon_8074_table()
+        return table.point(int(config.split(":")[1])).label
+    return config
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All runs of one workload plus the composed oracle."""
+
+    workload: str
+    runs: dict[str, list[RunResult]]
+    oracle: OracleResult
+    table: FrequencyTable
+
+    def configs(self) -> list[str]:
+        return list(self.runs)
+
+    def mean_energy_j(self, config: str) -> float:
+        """Mean dynamic energy — the paper's energy metric."""
+        results = self._results(config)
+        return sum(r.dynamic_energy_j for r in results) / len(results)
+
+    def mean_total_energy_j(self, config: str) -> float:
+        """Mean total energy including the idle floor (extra diagnostic)."""
+        results = self._results(config)
+        return sum(r.energy_j for r in results) / len(results)
+
+    def mean_irritation_s(self, config: str, model: HciModel | None = None) -> float:
+        results = self._results(config)
+        return sum(r.irritation_seconds(model) for r in results) / len(results)
+
+    def energy_normalised_to_oracle(self, config: str) -> float:
+        return self.mean_energy_j(config) / self.oracle.energy_j
+
+    def pooled_lag_durations_ms(self, config: str) -> list[float]:
+        """All reps' lag durations pooled (Fig. 11 violin input)."""
+        durations: list[float] = []
+        for result in self._results(config):
+            durations.extend(result.lag_profile.durations_ms())
+        return durations
+
+    def _results(self, config: str) -> list[RunResult]:
+        try:
+            results = self.runs[config]
+        except KeyError:
+            raise ReproError(f"sweep has no config {config!r}") from None
+        if not results:
+            raise ReproError(f"sweep config {config!r} has no runs")
+        return results
+
+
+def run_sweep(
+    artifacts: WorkloadArtifacts,
+    reps: int = 5,
+    configs: list[str] | None = None,
+    master_seed: int | None = None,
+    power_model: PowerModel | None = None,
+    table: FrequencyTable | None = None,
+    progress: Callable[[str, int], None] | None = None,
+) -> SweepResult:
+    """Execute the 85-run study for one workload and compose its oracle."""
+    table = table or snapdragon_8074_table()
+    power_model = power_model or PowerModel()
+    configs = configs if configs is not None else sweep_configs(table)
+    if master_seed is None:
+        master_seed = artifacts.recording_master_seed
+    runs: dict[str, list[RunResult]] = {}
+    for config in configs:
+        runs[config] = []
+        for rep in range(reps):
+            if progress is not None:
+                progress(config, rep)
+            runs[config].append(
+                replay_run(artifacts, config, rep=rep, master_seed=master_seed)
+            )
+    oracle = compose_oracle_from_runs(artifacts, runs, table, power_model)
+    return SweepResult(
+        workload=artifacts.name, runs=runs, oracle=oracle, table=table
+    )
+
+
+def compose_oracle_from_runs(
+    artifacts: WorkloadArtifacts,
+    runs: dict[str, list[RunResult]],
+    table: FrequencyTable | None = None,
+    power_model: PowerModel | None = None,
+) -> OracleResult:
+    """Build the oracle from the sweep's fixed-frequency runs."""
+    table = table or snapdragon_8074_table()
+    power_model = power_model or PowerModel()
+    fixed_profiles = {}
+    fixed_busy = {}
+    fixed_energy = {}
+    for khz in table.frequencies_khz:
+        config = f"fixed:{khz}"
+        results = runs.get(config)
+        if not results:
+            raise ReproError(
+                f"oracle needs a run at every OPP; missing {config}"
+            )
+        reference = results[0]
+        fixed_profiles[khz] = reference.lag_profile
+        fixed_busy[khz] = reference.busy_timeline
+        fixed_energy[khz] = sum(r.dynamic_energy_j for r in results) / len(
+            results
+        )
+    return build_oracle(
+        fixed_profiles,
+        fixed_busy,
+        fixed_energy,
+        duration_us=artifacts.duration_us,
+        table=table,
+        power_model=power_model,
+    )

@@ -1,0 +1,13 @@
+"""OS layer: tasks, the run queue and kernel timers."""
+
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.task import PRIORITY_BACKGROUND, PRIORITY_FOREGROUND, Task
+from repro.kernel.timers import PeriodicTimer
+
+__all__ = [
+    "Scheduler",
+    "Task",
+    "PRIORITY_FOREGROUND",
+    "PRIORITY_BACKGROUND",
+    "PeriodicTimer",
+]

@@ -1,0 +1,170 @@
+"""Single-core preemptive scheduler.
+
+Two priority bands (foreground / background) with FIFO order inside each
+band; a foreground arrival preempts running background work.  The scheduler
+drives the core's busy state and recomputes the running task's completion
+time whenever the governor retunes the frequency — the mechanism through
+which DVFS decisions become interaction lag.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable
+
+from repro.core.engine import PRIORITY_TASK, Engine, ScheduledEvent
+from repro.core.errors import SimulationError
+from repro.device.cpu import CpuCore
+from repro.kernel.task import PRIORITY_BACKGROUND, PRIORITY_FOREGROUND, Task
+
+
+class Scheduler:
+    """Executes tasks on one :class:`~repro.device.cpu.CpuCore`."""
+
+    def __init__(self, engine: Engine, core: CpuCore) -> None:
+        self._engine = engine
+        self._core = core
+        self._queues: dict[int, deque[Task]] = {
+            PRIORITY_FOREGROUND: deque(),
+            PRIORITY_BACKGROUND: deque(),
+        }
+        self._current: Task | None = None
+        self._current_started = 0
+        # Rate (cycles/us) the current task has been running at since
+        # ``_current_started``; kept separate from the core's live rate so
+        # progress is charged at the frequency that was actually in force.
+        self._current_rate = core.cycles_per_micro()
+        self._completion: ScheduledEvent | None = None
+        self._completed_tasks = 0
+        self._completed_cycles = 0.0
+        self._idle_listeners: list[Callable[[], None]] = []
+
+    # --- introspection -----------------------------------------------------------
+
+    @property
+    def current_task(self) -> Task | None:
+        return self._current
+
+    @property
+    def completed_tasks(self) -> int:
+        return self._completed_tasks
+
+    @property
+    def completed_cycles(self) -> float:
+        return self._completed_cycles
+
+    @property
+    def queued_tasks(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def is_idle(self) -> bool:
+        return self._current is None and self.queued_tasks == 0
+
+    def add_idle_listener(self, listener: Callable[[], None]) -> None:
+        """``listener`` fires whenever the run queue drains completely."""
+        self._idle_listeners.append(listener)
+
+    # --- task submission ----------------------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        """Enqueue a task; may preempt running lower-priority work."""
+        if task.done:
+            raise SimulationError(f"cannot resubmit completed task {task!r}")
+        task.submitted_at = self._engine.now
+        self._queues[task.priority].append(task)
+        if self._current is None:
+            self._dispatch()
+        elif task.priority < self._current.priority:
+            self._preempt_current()
+            self._dispatch()
+
+    def notify_frequency_change(self) -> None:
+        """Recompute the running task's completion under the new frequency.
+
+        The core has already closed its cycle accounting for the old
+        frequency; we only need to re-derive the wall-time finish from the
+        cycles still owed.
+        """
+        if self._current is None:
+            return
+        self._charge_current_progress()
+        self._schedule_completion()
+
+    # --- internals ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        task = self._pop_next()
+        if task is None:
+            self._core.set_busy(False)
+            for listener in self._idle_listeners:
+                listener()
+            return
+        now = self._engine.now
+        self._current = task
+        self._current_started = now
+        self._current_rate = self._core.cycles_per_micro()
+        if task.started_at is None:
+            task.started_at = now
+        self._core.set_busy(True)
+        self._schedule_completion()
+
+    def _pop_next(self) -> Task | None:
+        for priority in (PRIORITY_FOREGROUND, PRIORITY_BACKGROUND):
+            queue = self._queues[priority]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _schedule_completion(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+        task = self._current
+        if task is None:
+            return
+        rate = self._core.cycles_per_micro()
+        delay = max(1, math.ceil(task.remaining_cycles / rate))
+        self._completion = self._engine.schedule_at(
+            self._engine.now + delay, self._complete_current, priority=PRIORITY_TASK
+        )
+
+    def _charge_current_progress(self) -> None:
+        """Deduct cycles the running task retired since it (re)started."""
+        task = self._current
+        if task is None:
+            return
+        elapsed = self._engine.now - self._current_started
+        retired = elapsed * self._current_rate
+        task.remaining_cycles = max(0.0, task.remaining_cycles - retired)
+        self._current_started = self._engine.now
+        self._current_rate = self._core.cycles_per_micro()
+
+    def _preempt_current(self) -> None:
+        task = self._current
+        if task is None:
+            return
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._charge_current_progress()
+        self._current = None
+        # Preempted task resumes ahead of everything else in its band.
+        self._queues[task.priority].appendleft(task)
+
+    def _complete_current(self) -> None:
+        task = self._current
+        if task is None:
+            raise SimulationError("completion fired with no running task")
+        self._completion = None
+        task.remaining_cycles = 0.0
+        task.completed_at = self._engine.now
+        self._current = None
+        self._completed_tasks += 1
+        self._completed_cycles += task.cycles
+        # Dispatch the next task before running the completion callback so
+        # the core never shows a spurious idle gap between back-to-back
+        # tasks; the callback may itself submit follow-up work.
+        self._dispatch()
+        if task.on_complete is not None:
+            task.on_complete(task)

@@ -1,0 +1,71 @@
+"""Kernel timers used by governor sampling loops."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import PRIORITY_TIMER, Engine, ScheduledEvent
+from repro.core.errors import SimulationError
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period_us`` microseconds until stopped.
+
+    Expirations stay aligned to the start time (no drift accumulation),
+    like a kernel timer re-armed from its expiry rather than from ``now``.
+    """
+
+    def __init__(
+        self, engine: Engine, period_us: int, callback: Callable[[], None]
+    ) -> None:
+        if period_us <= 0:
+            raise SimulationError("timer period must be positive")
+        self._engine = engine
+        self._period = period_us
+        self._callback = callback
+        self._next_expiry = 0
+        self._pending: ScheduledEvent | None = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def period_us(self) -> int:
+        return self._period
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._next_expiry = self._engine.now + self._period
+        self._arm()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def set_period(self, period_us: int) -> None:
+        """Change the period; takes effect from the next expiry."""
+        if period_us <= 0:
+            raise SimulationError("timer period must be positive")
+        self._period = period_us
+
+    def _arm(self) -> None:
+        self._pending = self._engine.schedule_at(
+            self._next_expiry, self._fire, priority=PRIORITY_TIMER
+        )
+
+    def _fire(self) -> None:
+        self._pending = None
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._next_expiry += self._period
+            if self._next_expiry <= self._engine.now:
+                self._next_expiry = self._engine.now + self._period
+            self._arm()

@@ -1,0 +1,60 @@
+"""Chunked background work.
+
+Real background services interleave CPU bursts with IO (reading mail,
+flash writes, socket waits), so the load a governor samples from them sits
+well below 100%.  ``submit_chunked`` models this: a total cycle demand is
+split into fixed-size chunks separated by IO gaps.  Foreground interaction
+work stays unchunked — user-triggered bursts are what race governors to
+high frequencies.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.task import PRIORITY_BACKGROUND, Task
+
+# Sized so that at high frequencies a chunk is short relative to governor
+# sampling windows: sustained background work then presents mid-range load
+# instead of pegging at 100%.
+DEFAULT_CHUNK_CYCLES = 15e6
+DEFAULT_GAP_US = 60_000
+
+
+def submit_chunked(
+    engine: Engine,
+    scheduler: Scheduler,
+    name: str,
+    total_cycles: float,
+    chunk_cycles: float = DEFAULT_CHUNK_CYCLES,
+    gap_us: int = DEFAULT_GAP_US,
+    priority: int = PRIORITY_BACKGROUND,
+) -> int:
+    """Submit ``total_cycles`` of work as an IO-interleaved chunk chain.
+
+    Returns the number of chunks the chain will run.
+    """
+    if total_cycles <= 0:
+        raise SimulationError(f"chunked task {name!r} needs positive cycles")
+    if chunk_cycles <= 0 or gap_us < 0:
+        raise SimulationError("invalid chunking parameters")
+    chunk_count = max(1, round(total_cycles / chunk_cycles))
+    per_chunk = total_cycles / chunk_count
+
+    def run(index: int) -> None:
+        def completed(_task: Task) -> None:
+            if index + 1 < chunk_count:
+                engine.schedule_after(gap_us, lambda: run(index + 1))
+
+        scheduler.submit(
+            Task(
+                f"{name}[{index}/{chunk_count}]",
+                per_chunk,
+                priority=priority,
+                on_complete=completed,
+            )
+        )
+
+    run(0)
+    return chunk_count

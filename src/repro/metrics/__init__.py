@@ -1,0 +1,29 @@
+"""QoE metrics: HCI response-time model, user irritation, distributions."""
+
+from repro.metrics.distribution import DistributionSummary, summarize_lags
+from repro.metrics.hci import (
+    CATEGORY_COMMON,
+    CATEGORY_COMPLEX,
+    CATEGORY_SIMPLE,
+    CATEGORY_TYPING,
+    HciModel,
+    SHNEIDERMAN_MODEL,
+)
+from repro.metrics.irritation import IrritationResult, irritation
+from repro.metrics.jank import JankResult, LagJank, analyze_jank
+
+__all__ = [
+    "HciModel",
+    "SHNEIDERMAN_MODEL",
+    "CATEGORY_TYPING",
+    "CATEGORY_SIMPLE",
+    "CATEGORY_COMMON",
+    "CATEGORY_COMPLEX",
+    "IrritationResult",
+    "irritation",
+    "DistributionSummary",
+    "summarize_lags",
+    "JankResult",
+    "LagJank",
+    "analyze_jank",
+]

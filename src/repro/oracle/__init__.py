@@ -1,0 +1,6 @@
+"""The oracle: the optimal frequency profile of §III-B."""
+
+from repro.oracle.builder import OracleResult, build_oracle
+from repro.oracle.profile import FrequencyProfile, ProfileSegment
+
+__all__ = ["OracleResult", "build_oracle", "FrequencyProfile", "ProfileSegment"]

@@ -1,0 +1,100 @@
+"""Piecewise-constant frequency profiles.
+
+Used both for the oracle's composed frequency trace and for rendering a
+governor's transition log into plot-ready series (the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileSegment:
+    """Constant frequency over ``[start_us, end_us)``."""
+
+    start_us: int
+    end_us: int
+    freq_khz: int
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+
+class FrequencyProfile:
+    """An f(t) step function over a run's duration."""
+
+    def __init__(self, segments: list[ProfileSegment]) -> None:
+        if not segments:
+            raise ReproError("frequency profile cannot be empty")
+        for prev, cur in zip(segments, segments[1:]):
+            if cur.start_us != prev.end_us:
+                raise ReproError(
+                    f"profile has a gap: {prev.end_us} -> {cur.start_us}"
+                )
+        for segment in segments:
+            if segment.duration_us < 0:
+                raise ReproError("profile segment has negative duration")
+        self._segments = [s for s in segments if s.duration_us > 0]
+
+    @classmethod
+    def from_transitions(
+        cls, transitions: list[tuple[int, int]], end_us: int
+    ) -> "FrequencyProfile":
+        """Build from ``(timestamp, freq_khz)`` transition pairs."""
+        if not transitions:
+            raise ReproError("no transitions to build a profile from")
+        segments = []
+        for (t0, f0), (t1, _f1) in zip(transitions, transitions[1:]):
+            segments.append(ProfileSegment(t0, t1, f0))
+        last_t, last_f = transitions[-1]
+        segments.append(ProfileSegment(last_t, max(end_us, last_t), last_f))
+        return cls(segments)
+
+    @property
+    def segments(self) -> list[ProfileSegment]:
+        return list(self._segments)
+
+    @property
+    def start_us(self) -> int:
+        return self._segments[0].start_us
+
+    @property
+    def end_us(self) -> int:
+        return self._segments[-1].end_us
+
+    def frequency_at(self, timestamp: int) -> int:
+        for segment in self._segments:
+            if segment.start_us <= timestamp < segment.end_us:
+                return segment.freq_khz
+        if timestamp == self.end_us:
+            return self._segments[-1].freq_khz
+        raise ReproError(f"timestamp {timestamp} outside profile range")
+
+    def window(self, start_us: int, end_us: int) -> list[ProfileSegment]:
+        """Segments clipped to a window (for trace snapshots like Fig. 3)."""
+        out = []
+        for segment in self._segments:
+            if segment.end_us <= start_us or segment.start_us >= end_us:
+                continue
+            out.append(
+                ProfileSegment(
+                    max(segment.start_us, start_us),
+                    min(segment.end_us, end_us),
+                    segment.freq_khz,
+                )
+            )
+        return out
+
+    def series(self, step_us: int = 10_000) -> tuple[list[float], list[float]]:
+        """(seconds, GHz) sampled series for plotting/printing."""
+        xs, ys = [], []
+        t = self.start_us
+        while t < self.end_us:
+            xs.append(t / 1e6)
+            ys.append(self.frequency_at(t) / 1e6)
+            t += step_us
+        return xs, ys

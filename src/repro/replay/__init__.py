@@ -1,0 +1,16 @@
+"""Record and replay of interactive workloads (paper §II-B)."""
+
+from repro.replay.getevent import format_event, format_trace, parse_line, parse_trace
+from repro.replay.recorder import GeteventRecorder
+from repro.replay.replayer import ReplayAgent
+from repro.replay.trace import EventTrace
+
+__all__ = [
+    "format_event",
+    "format_trace",
+    "parse_line",
+    "parse_trace",
+    "GeteventRecorder",
+    "ReplayAgent",
+    "EventTrace",
+]

@@ -1,0 +1,77 @@
+"""The getevent trace format.
+
+ANDROID's ``getevent`` prints one line per kernel input event; with ``-t``
+it prefixes the timestamp.  The paper's Fig. 5 shows the untimed triple
+form::
+
+    /dev/input/event1: 0003 0039 00000003
+
+We read and write the timed form (as the paper's recorder needs exact
+timings), and also accept the untimed form when parsing::
+
+    [   12.345678] /dev/input/event1: 0003 0039 00000003
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ReplayError
+from repro.core.events import InputEvent
+from repro.core.simtime import MICROS_PER_SECOND
+
+_LINE_RE = re.compile(
+    r"^(?:\[\s*(?P<sec>\d+)\.(?P<usec>\d{6})\]\s+)?"
+    r"(?P<device>/dev/input/event\d+):\s+"
+    r"(?P<type>[0-9a-fA-F]{4})\s+"
+    r"(?P<code>[0-9a-fA-F]{4})\s+"
+    r"(?P<value>[0-9a-fA-F]{8})\s*$"
+)
+
+
+def format_event(event: InputEvent, with_timestamp: bool = True) -> str:
+    """Render one event as a getevent line."""
+    triple = (
+        f"{event.device}: {event.type:04x} {event.code:04x} "
+        f"{event.value & 0xFFFFFFFF:08x}"
+    )
+    if not with_timestamp:
+        return triple
+    sec, usec = divmod(event.timestamp, MICROS_PER_SECOND)
+    return f"[{sec:8d}.{usec:06d}] {triple}"
+
+
+def parse_line(line: str) -> InputEvent:
+    """Parse one getevent line (timed or untimed; untimed gets t=0)."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise ReplayError(f"unparseable getevent line: {line!r}")
+    if match.group("sec") is not None:
+        timestamp = (
+            int(match.group("sec")) * MICROS_PER_SECOND + int(match.group("usec"))
+        )
+    else:
+        timestamp = 0
+    return InputEvent(
+        timestamp=timestamp,
+        device=match.group("device"),
+        type=int(match.group("type"), 16),
+        code=int(match.group("code"), 16),
+        value=int(match.group("value"), 16),
+    )
+
+
+def format_trace(events: list[InputEvent]) -> str:
+    """Render a whole trace, one line per event."""
+    return "\n".join(format_event(e) for e in events) + ("\n" if events else "")
+
+
+def parse_trace(text: str) -> list[InputEvent]:
+    """Parse a getevent dump; blank lines and ``#`` comments are skipped."""
+    events = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        events.append(parse_line(stripped))
+    return events

@@ -1,0 +1,53 @@
+"""The replay agent.
+
+ANDROID's ``sendevent`` is "very basic and does not provide enough
+functionality and performance to replay our recorded event trace
+accurately" (paper §II-B2), so the authors wrote their own agent; this is
+that agent for the simulated device: it knows the recorded trace and
+injects every event into the input subsystem at its exact timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import PRIORITY_INPUT, Engine
+from repro.core.errors import ReplayError
+from repro.device.input_device import InputSubsystem
+from repro.replay.trace import EventTrace
+
+
+class ReplayAgent:
+    """Replays an event trace with accurate timings."""
+
+    def __init__(self, engine: Engine, subsystem: InputSubsystem) -> None:
+        self._engine = engine
+        self._subsystem = subsystem
+        self.events_injected = 0
+
+    def schedule(self, trace: EventTrace, start_offset_us: int = 0) -> int:
+        """Arm injection of every event; returns the last event's time.
+
+        ``start_offset_us`` shifts the whole trace, e.g. to leave the
+        device a settling period after boot, matching the paper's "initial
+        system state of the device is always the same" requirement.
+        """
+        if start_offset_us < 0:
+            raise ReplayError("start offset must be >= 0")
+        last = self._engine.now
+        for event in trace:
+            when = event.timestamp + start_offset_us
+            if when < self._engine.now:
+                raise ReplayError(
+                    f"event at {event.timestamp} would fire in the past"
+                )
+            shifted = event if start_offset_us == 0 else type(event)(
+                when, event.device, event.type, event.code, event.value
+            )
+            self._engine.schedule_at(
+                when, lambda e=shifted: self._inject(e), priority=PRIORITY_INPUT
+            )
+            last = max(last, when)
+        return last
+
+    def _inject(self, event) -> None:
+        self.events_injected += 1
+        self._subsystem.emit(event)

@@ -1,0 +1,86 @@
+"""Event traces: the recorded artefact a workload replays from."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import events as ev
+from repro.core.errors import ReplayError
+from repro.core.events import InputEvent
+from repro.replay.getevent import format_trace, parse_trace
+
+
+class EventTrace:
+    """An ordered sequence of recorded kernel input events."""
+
+    def __init__(self, events: list[InputEvent] | None = None) -> None:
+        self.events: list[InputEvent] = list(events or [])
+        self._check_ordering()
+
+    def _check_ordering(self) -> None:
+        for prev, cur in zip(self.events, self.events[1:]):
+            if cur.timestamp < prev.timestamp:
+                raise ReplayError(
+                    "trace events out of order at "
+                    f"{prev.timestamp} -> {cur.timestamp}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration_us(self) -> int:
+        if not self.events:
+            return 0
+        return self.events[-1].timestamp - self.events[0].timestamp
+
+    def append(self, event: InputEvent) -> None:
+        if self.events and event.timestamp < self.events[-1].timestamp:
+            raise ReplayError("cannot append event earlier than trace end")
+        self.events.append(event)
+
+    def shifted(self, offset_us: int) -> "EventTrace":
+        """A copy with every timestamp moved by ``offset_us``."""
+        return EventTrace(
+            [
+                InputEvent(
+                    e.timestamp + offset_us, e.device, e.type, e.code, e.value
+                )
+                for e in self.events
+            ]
+        )
+
+    def touch_down_times(self) -> list[int]:
+        """Timestamps of finger-down events (new tracking ids)."""
+        return [
+            e.timestamp
+            for e in self.events
+            if e.type == ev.EV_ABS
+            and e.code == ev.ABS_MT_TRACKING_ID
+            and e.value != ev.TRACKING_ID_NONE
+        ]
+
+    def counts_by_type(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+    # --- persistence -----------------------------------------------------------------
+
+    def dumps(self) -> str:
+        return format_trace(self.events)
+
+    @classmethod
+    def loads(cls, text: str) -> "EventTrace":
+        return cls(parse_trace(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventTrace":
+        return cls.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,50 @@
+"""Minimal Android-like UI framework.
+
+Apps are state machines built from widgets; the window manager composes
+the foreground app plus the status bar into the framebuffer on vsync; a
+gesture decoder reconstructs taps and swipes from raw kernel input events
+— the same path for live recording and replay, which is what makes
+replayed workloads behave identically to recorded ones.
+"""
+
+from repro.uifw.app import App, AppContext
+from repro.uifw.gestures import Gesture, GestureDecoder, Swipe, Tap
+from repro.uifw.journal import GroundTruthJournal, InteractionRecord
+from repro.uifw.view import View, WindowManager
+from repro.uifw.widgets import (
+    Button,
+    Icon,
+    Keyboard,
+    Label,
+    ListView,
+    ProgressBar,
+    Spinner,
+    StatusBar,
+    TextField,
+    TextureBlock,
+    Widget,
+)
+
+__all__ = [
+    "App",
+    "AppContext",
+    "Gesture",
+    "GestureDecoder",
+    "Tap",
+    "Swipe",
+    "GroundTruthJournal",
+    "InteractionRecord",
+    "View",
+    "WindowManager",
+    "Widget",
+    "Label",
+    "TextureBlock",
+    "Icon",
+    "Button",
+    "ListView",
+    "ProgressBar",
+    "Spinner",
+    "StatusBar",
+    "TextField",
+    "Keyboard",
+]

@@ -1,0 +1,266 @@
+"""Application base class and the context apps use to touch the system."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point, Rect
+from repro.kernel.task import PRIORITY_FOREGROUND, Task
+from repro.uifw.gestures import Gesture, Swipe, Tap
+from repro.uifw.journal import InteractionToken
+from repro.uifw.view import View
+from repro.uifw.widgets import TextureBlock
+
+if TYPE_CHECKING:
+    from repro.uifw.view import WindowManager
+
+#: One loading stage: (cpu_cycles, io_gap_us_after_stage).
+Stage = tuple[float, int]
+
+# Cycles to redraw a screen after trivial state changes (navigation, key
+# echo).  Roughly a few milliseconds at mid frequencies.
+RENDER_WORK_CYCLES = 20.0e6
+
+
+class AppContext:
+    """Everything an app may use: work posting, journal, invalidation."""
+
+    def __init__(self, wm: "WindowManager", app: "App") -> None:
+        self.wm = wm
+        self.app = app
+        self.engine = wm.engine
+        self.scheduler = wm.device.scheduler
+        self.journal = wm.journal
+
+    def invalidate(self) -> None:
+        self.wm.invalidate()
+
+    def now(self) -> int:
+        return self.engine.now
+
+    def open_interaction(self, label: str, category: str) -> InteractionToken:
+        return self.journal.open_interaction(
+            f"{self.app.name}:{label}", category, self.journal.current_down_time()
+        )
+
+    def post_work(
+        self,
+        label: str,
+        cycles: float,
+        on_complete: Callable[[], None] | None = None,
+        priority: int = PRIORITY_FOREGROUND,
+    ) -> Task:
+        """Submit one unit of CPU work to the kernel."""
+        task = Task(
+            f"{self.app.name}:{label}",
+            cycles,
+            priority=priority,
+            on_complete=(lambda _t: on_complete()) if on_complete else None,
+        )
+        self.scheduler.submit(task)
+        return task
+
+    def run_stages(
+        self,
+        label: str,
+        stages: Sequence[Stage],
+        on_stage: Callable[[int], None] | None = None,
+        on_done: Callable[[], None] | None = None,
+    ) -> None:
+        """Run CPU stages sequentially with optional IO gaps between them.
+
+        ``on_stage(i)`` fires after stage ``i`` completes (apps update the
+        screen there, producing the progressive loading the suggester
+        sees); ``on_done`` fires after the last stage.
+        """
+        if not stages:
+            if on_done is not None:
+                on_done()
+            return
+
+        def run(index: int) -> None:
+            cycles, io_gap = stages[index]
+
+            def completed() -> None:
+                if on_stage is not None:
+                    on_stage(index)
+                next_index = index + 1
+                if next_index >= len(stages):
+                    if on_done is not None:
+                        on_done()
+                elif io_gap > 0:
+                    self.engine.schedule_after(io_gap, lambda: run(next_index))
+                else:
+                    run(next_index)
+
+            self.post_work(f"{label}[{index}]", cycles, completed)
+
+        run(0)
+
+
+class App:
+    """Base class for simulated applications.
+
+    Subclasses build views, react to gestures by posting CPU work through
+    the context, update their widgets when work completes, and mark
+    interaction completion on the journal token — which is the ground
+    truth the AutoAnnotator (standing in for the paper's human) consults.
+    """
+
+    #: unique app name; also the launcher icon key.
+    name = "app"
+    #: HCI category a cold launch of this app falls into.
+    launch_category = "common"
+
+    def __init__(self) -> None:
+        self.ctx: AppContext | None = None
+        self._view = View(f"{self.name}:root")
+        self._splash_view: View | None = None
+        self._pre_launch_view: View | None = None
+        self.launched = False
+
+    # --- lifecycle ---------------------------------------------------------------
+
+    def attach(self, ctx: AppContext) -> None:
+        self.ctx = ctx
+        self.build_ui()
+
+    def build_ui(self) -> None:
+        """Create the app's widgets (called once at install)."""
+
+    @property
+    def view(self) -> View:
+        return self._view
+
+    @property
+    def context(self) -> AppContext:
+        if self.ctx is None:
+            raise SimulationError(f"app {self.name!r} not attached")
+        return self.ctx
+
+    def screen_size(self) -> tuple[int, int]:
+        display = self.context.wm.device.display
+        return display.width, display.height
+
+    def label(self) -> str:
+        """Launcher icon label."""
+        return self.name
+
+    def dynamic_regions(self) -> list:
+        """Screen regions that may differ between runs of a workload.
+
+        The AutoAnnotator masks these out of lag-ending images, the same
+        way the paper's users mask the clock or an advertisement (Fig. 8).
+        """
+        return []
+
+    # --- gestures ------------------------------------------------------------------
+
+    def handle_gesture(self, gesture: Gesture) -> bool:
+        """Route a gesture into the current view. Returns consumed?"""
+        if isinstance(gesture, Tap):
+            return self._view.dispatch_tap(gesture)
+        if isinstance(gesture, Swipe):
+            return self._view.dispatch_swipe(gesture)
+        return False
+
+    def on_back(self, token: InteractionToken) -> bool:
+        """Handle the nav-bar back button.
+
+        Return True if handled in-app (the app must complete the token);
+        False sends the user home (the home app completes it).
+        """
+        return False
+
+    def service_navigation(self, token: InteractionToken) -> None:
+        """Complete a navigation interaction that lands on this app.
+
+        The window switch happens when the render work completes, so the
+        visual change coincides with the interaction's semantic end — the
+        property the annotator and matcher both rely on.
+        """
+        ctx = self.context
+
+        def done() -> None:
+            ctx.wm.switch_to(self)
+            token.complete(ctx.now())
+
+        ctx.post_work("nav-render", RENDER_WORK_CYCLES, done)
+
+    # --- launch ------------------------------------------------------------------------
+
+    def cold_start_stages(self) -> list[Stage]:
+        """CPU stages of a cold launch; override for heavier apps."""
+        return [(80e6, 10_000), (100e6, 10_000), (80e6, 0)]
+
+    def loading_view(self) -> View:
+        """The screen shown while the app cold-starts.
+
+        By default a splash screen; apps with progressive loading (the
+        Gallery's one-by-one thumbnails) override this to load in place.
+        """
+        if self._splash_view is None:
+            splash = View(f"{self.name}:splash", background=0)
+            width, height = self.screen_size()
+            splash.add(
+                TextureBlock(
+                    Rect(8, height // 3, width - 16, 24),
+                    f"splash:{self.name}",
+                )
+            )
+            self._splash_view = splash
+        return self._splash_view
+
+    def on_launch_stage(self, index: int) -> None:
+        """Update the loading screen after stage ``index``; override."""
+
+    def on_launched(self) -> None:
+        """Final screen state after launch.
+
+        The default restores the view that was current before the splash;
+        apps override to land somewhere specific.
+        """
+        if self._pre_launch_view is not None:
+            self._view = self._pre_launch_view
+
+    def launch(self, token: InteractionToken) -> None:
+        """Cold-start (or fast-resume) the app; completes ``token``."""
+        ctx = self.context
+        if self.launched:
+            # Fast resume: the app window appears when the resume render
+            # is done (the visual change marks the lag ending).
+            def resumed() -> None:
+                ctx.wm.switch_to(self)
+                token.complete(ctx.now())
+
+            ctx.post_work("resume", RENDER_WORK_CYCLES * 2, resumed)
+            return
+
+        # Cold start: the splash appears immediately, stages update it,
+        # and on_launched lands on the final screen at completion time.
+        self._pre_launch_view = self._view
+        self._view = self.loading_view()
+        ctx.wm.switch_to(self)
+
+        def stage_done(index: int) -> None:
+            self.on_launch_stage(index)
+            ctx.invalidate()
+
+        def all_done() -> None:
+            self.launched = True
+            self.on_launched()
+            ctx.invalidate()
+            token.complete(ctx.now())
+
+        ctx.run_stages("launch", self.cold_start_stages(), stage_done, all_done)
+
+    # --- synthetic-user affordances -------------------------------------------------------
+
+    def tap_target(self, name: str) -> Point:
+        """Screen point for a named tap target (the synthetic user's eyes)."""
+        raise SimulationError(f"app {self.name!r} has no tap target {name!r}")
+
+    def swipe_target(self, name: str) -> tuple[Point, Point, int]:
+        """(start, end, duration_us) for a named swipe gesture."""
+        raise SimulationError(f"app {self.name!r} has no swipe target {name!r}")

@@ -1,0 +1,118 @@
+"""Canvas drawing primitives.
+
+Everything on the simulated screen is 8-bit grayscale.  "Text" other than
+the status-bar clock is rendered as deterministic texture blocks — the
+video-analysis pipeline only needs frames to be *distinct and repeatable*,
+not legible.  The clock uses a real 3x5 digit font because its changing
+pixels are what force mask support in the matcher (the paper's Fig. 8).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.geometry import Rect
+
+# 3x5 bitmaps for the status-bar clock.
+_DIGIT_FONT: dict[str, tuple[str, ...]] = {
+    "0": ("111", "101", "101", "101", "111"),
+    "1": ("010", "110", "010", "010", "111"),
+    "2": ("111", "001", "111", "100", "111"),
+    "3": ("111", "001", "111", "001", "111"),
+    "4": ("101", "101", "111", "001", "001"),
+    "5": ("111", "100", "111", "001", "111"),
+    "6": ("111", "100", "111", "101", "111"),
+    "7": ("111", "001", "010", "010", "010"),
+    "8": ("111", "101", "111", "101", "111"),
+    "9": ("111", "101", "111", "001", "111"),
+    ":": ("000", "010", "000", "010", "000"),
+}
+
+_texture_cache: dict[tuple[str, int, int], np.ndarray] = {}
+
+
+def texture(key: str, width: int, height: int) -> np.ndarray:
+    """A deterministic pseudo-random texture for ``key``.
+
+    The same key always produces the same pixels, across runs and Python
+    processes, so screens containing it are repeatable between workload
+    executions — the property the matcher relies on.
+    """
+    cache_key = (key, width, height)
+    cached = _texture_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    seed = zlib.crc32(key.encode("utf-8"))
+    rng = np.random.default_rng(seed)
+    block = rng.integers(32, 224, size=(height, width), dtype=np.int64).astype(
+        np.uint8
+    )
+    _texture_cache[cache_key] = block
+    return block
+
+
+class Canvas:
+    """Thin drawing wrapper over a numpy framebuffer slice."""
+
+    def __init__(self, buffer: np.ndarray) -> None:
+        self._buffer = buffer
+        self.height, self.width = buffer.shape
+
+    @property
+    def buffer(self) -> np.ndarray:
+        return self._buffer
+
+    def _clip(self, rect: Rect) -> Rect:
+        return rect.clamped_to(Rect(0, 0, self.width, self.height))
+
+    def fill(self, value: int) -> None:
+        self._buffer[:, :] = value
+
+    def fill_rect(self, rect: Rect, value: int) -> None:
+        r = self._clip(rect)
+        if r.area:
+            self._buffer[r.y : r.bottom, r.x : r.right] = value
+
+    def frame_rect(self, rect: Rect, value: int) -> None:
+        """A 1-px border."""
+        r = self._clip(rect)
+        if not r.area:
+            return
+        self._buffer[r.y, r.x : r.right] = value
+        self._buffer[r.bottom - 1, r.x : r.right] = value
+        self._buffer[r.y : r.bottom, r.x] = value
+        self._buffer[r.y : r.bottom, r.right - 1] = value
+
+    def blit_texture(self, rect: Rect, key: str) -> None:
+        """Draw the deterministic texture for ``key`` into ``rect``."""
+        r = self._clip(rect)
+        if not r.area:
+            return
+        block = texture(key, rect.w, rect.h)
+        self._buffer[r.y : r.bottom, r.x : r.right] = block[
+            r.y - rect.y : r.bottom - rect.y, r.x - rect.x : r.right - rect.x
+        ]
+
+    def draw_digits(self, x: int, y: int, text: str, value: int = 255) -> Rect:
+        """Render clock-style digits with the 3x5 font; returns the bounds."""
+        cursor = x
+        for char in text:
+            bitmap = _DIGIT_FONT.get(char)
+            if bitmap is None:
+                cursor += 4
+                continue
+            for row, bits in enumerate(bitmap):
+                for col, bit in enumerate(bits):
+                    if bit == "1":
+                        px, py = cursor + col, y + row
+                        if 0 <= px < self.width and 0 <= py < self.height:
+                            self._buffer[py, px] = value
+            cursor += 4
+        return Rect(x, y, cursor - x, 5)
+
+
+def digits_bounds(x: int, y: int, text: str) -> Rect:
+    """Bounds :meth:`Canvas.draw_digits` would cover, without drawing."""
+    return Rect(x, y, 4 * len(text), 5)

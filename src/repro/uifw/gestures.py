@@ -1,0 +1,111 @@
+"""Gesture decoding: raw kernel events back into taps and swipes.
+
+This is the framework-side consumer of ``/dev/input`` events.  Both a live
+recording session and a replayed trace flow through this same decoder,
+which is what guarantees replay drives the apps identically to the
+original session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import events as ev
+from repro.core.geometry import Point
+
+# A contact that moves less than this is a tap, otherwise a swipe.
+TAP_MAX_TRAVEL_PX = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Tap:
+    """A decoded tap gesture."""
+
+    down_time: int
+    up_time: int
+    point: Point
+
+
+@dataclass(frozen=True, slots=True)
+class Swipe:
+    """A decoded swipe gesture."""
+
+    down_time: int
+    up_time: int
+    start: Point
+    end: Point
+
+    @property
+    def delta_x(self) -> int:
+        return self.end.x - self.start.x
+
+    @property
+    def delta_y(self) -> int:
+        return self.end.y - self.start.y
+
+
+Gesture = Tap | Swipe
+GestureHandler = Callable[[Gesture], None]
+
+
+class GestureDecoder:
+    """Reassembles protocol-B event packets into gestures."""
+
+    def __init__(self, handler: GestureHandler) -> None:
+        self._handler = handler
+        self._contact = False
+        self._down_time = 0
+        self._start: Point | None = None
+        self._last: Point | None = None
+        self._pending_x: int | None = None
+        self._pending_y: int | None = None
+        self._pending_release = False
+        self.gestures_decoded = 0
+
+    def on_event(self, event: ev.InputEvent) -> None:
+        """Feed one kernel event; emits a gesture on finger-up."""
+        if event.type == ev.EV_ABS:
+            self._on_abs(event)
+        elif event.is_syn_report():
+            self._on_syn(event)
+
+    def _on_abs(self, event: ev.InputEvent) -> None:
+        if event.code == ev.ABS_MT_TRACKING_ID:
+            if event.value == ev.TRACKING_ID_NONE:
+                self._pending_release = True
+            else:
+                self._contact = True
+                self._down_time = event.timestamp
+                self._start = None
+                self._last = None
+        elif event.code == ev.ABS_MT_POSITION_X:
+            self._pending_x = event.value
+        elif event.code == ev.ABS_MT_POSITION_Y:
+            self._pending_y = event.value
+
+    def _on_syn(self, event: ev.InputEvent) -> None:
+        if self._contact and self._pending_x is not None and self._pending_y is not None:
+            point = Point(self._pending_x, self._pending_y)
+            if self._start is None:
+                self._start = point
+            self._last = point
+        self._pending_x = None
+        self._pending_y = None
+        if self._pending_release:
+            self._pending_release = False
+            self._finish(event.timestamp)
+
+    def _finish(self, up_time: int) -> None:
+        self._contact = False
+        start, last = self._start, self._last
+        self._start = None
+        self._last = None
+        if start is None or last is None:
+            return  # release without any position: ignore
+        self.gestures_decoded += 1
+        if start.distance_to(last) <= TAP_MAX_TRAVEL_PX:
+            gesture: Gesture = Tap(self._down_time, up_time, start)
+        else:
+            gesture = Swipe(self._down_time, up_time, start, last)
+        self._handler(gesture)

@@ -1,0 +1,294 @@
+"""Widgets: the building blocks of app screens."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.geometry import Point, Rect
+from repro.core.simtime import MICROS_PER_MINUTE
+from repro.uifw.drawing import Canvas, digits_bounds
+
+STATUS_BAR_HEIGHT = 8
+CURSOR_BLINK_PERIOD_US = 500_000
+
+
+class Widget:
+    """Base widget: a rectangle that can draw itself and take taps."""
+
+    def __init__(self, rect: Rect, name: str = "") -> None:
+        self.rect = rect
+        self.name = name
+        self.visible = True
+        self.on_tap: Callable[[Point], None] | None = None
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        """Render into the canvas; ``now`` enables time-varying widgets."""
+
+    def hit_test(self, point: Point) -> bool:
+        return self.visible and self.rect.contains(point)
+
+
+class Label(Widget):
+    """A block of static 'text' rendered as a deterministic texture."""
+
+    def __init__(self, rect: Rect, text: str) -> None:
+        super().__init__(rect, name=f"label:{text}")
+        self.text = text
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if self.visible:
+            canvas.blit_texture(self.rect, f"label:{self.text}")
+
+
+class TextureBlock(Widget):
+    """Arbitrary content block (image thumbnail, article body, …)."""
+
+    def __init__(self, rect: Rect, key: str) -> None:
+        super().__init__(rect, name=f"texture:{key}")
+        self.key = key
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if self.visible:
+            canvas.blit_texture(self.rect, self.key)
+
+
+class Icon(Widget):
+    """A tappable launcher/app icon."""
+
+    def __init__(self, rect: Rect, label: str) -> None:
+        super().__init__(rect, name=f"icon:{label}")
+        self.label = label
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        canvas.blit_texture(self.rect.inset(1), f"icon:{self.label}")
+        canvas.frame_rect(self.rect, 200)
+
+
+class Button(Widget):
+    """A framed tappable button."""
+
+    def __init__(self, rect: Rect, label: str) -> None:
+        super().__init__(rect, name=f"button:{label}")
+        self.label = label
+        self.enabled = True
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        fill = 90 if self.enabled else 40
+        canvas.fill_rect(self.rect, fill)
+        canvas.frame_rect(self.rect, 230)
+        canvas.blit_texture(self.rect.inset(2), f"button:{self.label}")
+
+    def hit_test(self, point: Point) -> bool:
+        return self.enabled and super().hit_test(point)
+
+
+class ProgressBar(Widget):
+    """A determinate progress bar (0.0 … 1.0)."""
+
+    def __init__(self, rect: Rect, name: str = "progress") -> None:
+        super().__init__(rect, name=name)
+        self.fraction = 0.0
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        canvas.fill_rect(self.rect, 30)
+        canvas.frame_rect(self.rect, 200)
+        filled = int(max(0.0, min(1.0, self.fraction)) * (self.rect.w - 2))
+        if filled > 0:
+            inner = Rect(self.rect.x + 1, self.rect.y + 1, filled, self.rect.h - 2)
+            canvas.fill_rect(inner, 220)
+
+
+class Spinner(Widget):
+    """An indeterminate activity spinner; animates while active.
+
+    The animation keeps successive frames different, so a lag that ends
+    when the spinner disappears is found by the suggester as the first
+    frame of the following still period — exactly the paper's Gallery
+    example.
+    """
+
+    def __init__(self, rect: Rect, name: str = "spinner") -> None:
+        super().__init__(rect, name=name)
+        self.active = False
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not (self.visible and self.active):
+            return
+        phase = (now // 100_000) % 4
+        canvas.fill_rect(self.rect, 25)
+        w, h = self.rect.w // 2, self.rect.h // 2
+        quadrant = [
+            Rect(self.rect.x, self.rect.y, w, h),
+            Rect(self.rect.x + w, self.rect.y, self.rect.w - w, h),
+            Rect(self.rect.x + w, self.rect.y + h, self.rect.w - w, self.rect.h - h),
+            Rect(self.rect.x, self.rect.y + h, w, self.rect.h - h),
+        ][phase]
+        canvas.fill_rect(quadrant, 240)
+
+
+class StatusBar(Widget):
+    """The always-on-top bar with a live HH:MM clock.
+
+    The clock changes every simulated minute, which is why every workload
+    annotation needs a status-bar mask — the paper's Fig. 8 scenario.
+    """
+
+    def __init__(self, screen_width: int) -> None:
+        super().__init__(Rect(0, 0, screen_width, STATUS_BAR_HEIGHT), "statusbar")
+        self._clock_x = screen_width - 21
+        self._clock_y = 1
+
+    @property
+    def clock_rect(self) -> Rect:
+        """The region the clock digits occupy (what annotations mask)."""
+        return digits_bounds(self._clock_x, self._clock_y, "00:00")
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        canvas.fill_rect(self.rect, 15)
+        total_minutes = (now // MICROS_PER_MINUTE) % (24 * 60)
+        hours, mins = divmod(total_minutes, 60)
+        canvas.draw_digits(
+            self._clock_x, self._clock_y, f"{hours:02d}:{mins:02d}", 230
+        )
+
+
+class ListView(Widget):
+    """A vertically scrollable list of texture rows."""
+
+    def __init__(
+        self,
+        rect: Rect,
+        item_keys: list[str],
+        item_height: int,
+        name: str = "list",
+    ) -> None:
+        super().__init__(rect, name=name)
+        self.item_keys = list(item_keys)
+        self.item_height = item_height
+        self.scroll_px = 0
+        self.on_item_tap: Callable[[int], None] | None = None
+
+    @property
+    def max_scroll(self) -> int:
+        content = len(self.item_keys) * self.item_height
+        return max(0, content - self.rect.h)
+
+    def scroll_by(self, delta_px: int) -> int:
+        """Scroll and return the clamped distance actually moved."""
+        target = max(0, min(self.max_scroll, self.scroll_px + delta_px))
+        moved = target - self.scroll_px
+        self.scroll_px = target
+        return moved
+
+    def item_at(self, point: Point) -> int | None:
+        """Index of the item under a screen point, if any."""
+        if not self.rect.contains(point):
+            return None
+        offset = point.y - self.rect.y + self.scroll_px
+        index = offset // self.item_height
+        if 0 <= index < len(self.item_keys):
+            return index
+        return None
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        canvas.fill_rect(self.rect, 10)
+        first = self.scroll_px // self.item_height
+        y = self.rect.y - (self.scroll_px % self.item_height)
+        index = first
+        while y < self.rect.bottom and index < len(self.item_keys):
+            row = Rect(self.rect.x, y, self.rect.w, self.item_height - 1)
+            clipped = row.clamped_to(self.rect)
+            if clipped.area:
+                canvas.blit_texture(clipped, f"{self.name}:{self.item_keys[index]}")
+            y += self.item_height
+            index += 1
+
+
+class TextField(Widget):
+    """A text entry with typed-content texture and a blinking cursor.
+
+    The blinking cursor is the paper's example of why the suggester needs
+    a pixel-difference tolerance: without it every blink starts a new
+    still period.
+    """
+
+    def __init__(self, rect: Rect, name: str = "textfield") -> None:
+        super().__init__(rect, name=name)
+        self.content = ""
+        self.focused = False
+
+    @property
+    def cursor_rect(self) -> Rect:
+        x = self.rect.x + 2 + min(len(self.content), self.rect.w - 6)
+        return Rect(x, self.rect.y + 2, 2, max(1, self.rect.h - 4))
+
+    def append(self, char: str) -> None:
+        self.content += char
+
+    def clear(self) -> None:
+        self.content = ""
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        canvas.fill_rect(self.rect, 35)
+        canvas.frame_rect(self.rect, 180)
+        if self.content:
+            text_w = min(len(self.content), self.rect.w - 6)
+            if text_w > 0:
+                text_rect = Rect(
+                    self.rect.x + 2, self.rect.y + 2, text_w, self.rect.h - 4
+                )
+                canvas.blit_texture(text_rect, f"{self.name}:{self.content}")
+        if self.focused and (now // CURSOR_BLINK_PERIOD_US) % 2 == 0:
+            canvas.fill_rect(self.cursor_rect, 250)
+
+
+class Keyboard(Widget):
+    """A 4-row on-screen keyboard."""
+
+    ROWS = ("qwertyuiop", "asdfghjkl", "zxcvbnm", " ")
+
+    def __init__(self, screen_width: int, screen_height: int) -> None:
+        height = 36
+        super().__init__(
+            Rect(0, screen_height - height, screen_width, height), "keyboard"
+        )
+        self._key_rects: dict[str, Rect] = {}
+        row_h = height // len(self.ROWS)
+        for row_idx, row in enumerate(self.ROWS):
+            key_w = screen_width // len(row)
+            for col, char in enumerate(row):
+                self._key_rects[char] = Rect(
+                    col * key_w,
+                    self.rect.y + row_idx * row_h,
+                    key_w,
+                    row_h,
+                )
+
+    def key_rect(self, char: str) -> Rect:
+        """Where a character's key is (for the synthetic user to aim at)."""
+        return self._key_rects[char]
+
+    def key_at(self, point: Point) -> str | None:
+        if not self.rect.contains(point):
+            return None
+        for char, rect in self._key_rects.items():
+            if rect.contains(point):
+                return char
+        return None
+
+    def draw(self, canvas: Canvas, now: int) -> None:
+        if not self.visible:
+            return
+        canvas.fill_rect(self.rect, 50)
+        for char, rect in self._key_rects.items():
+            canvas.frame_rect(rect, 120)

@@ -1,0 +1,18 @@
+"""Workload synthesis: the study's datasets as recordable user sessions."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset,
+    dataset_names,
+)
+from repro.workloads.sessions import PlanStep, ScriptedUser
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset",
+    "dataset_names",
+    "PlanStep",
+    "ScriptedUser",
+]

@@ -1,0 +1,326 @@
+"""The study's workloads (Table I) as scripted-user plans.
+
+Each dataset is a seeded generator of :class:`PlanStep`; the recording
+harness runs it against the simulated device until the dataset duration is
+reached.  Event counts are tuned to land near the paper's Fig. 10 numbers
+(68 / 149 / 76 / 114 / 83 inputs for datasets 01-05 and 218 for the
+24-hour workload), including a small share of spurious inputs (taps that
+hit nothing).
+
+| Dataset | Table I description                                  |
+|---------|------------------------------------------------------|
+| 01      | Image manipulation with Gallery application.          |
+| 02      | Logo Quiz game.                                       |
+| 03      | Pulse News widget and multimedia text messaging.      |
+| 04      | Movie Studio video creation.                          |
+| 05      | Pulse News application.                               |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Iterator
+
+from repro.core.errors import WorkloadError
+from repro.core.simtime import hours, minutes, seconds
+from repro.workloads.sessions import KIND_SWIPE, KIND_TAP, PlanStep
+
+ANSWER_WORDS = ("cola", "star", "apple", "shell", "nike", "ford", "jeep", "visa")
+
+
+def _tap(app: str, target: str, think_us: int) -> PlanStep:
+    return PlanStep(KIND_TAP, app, target, think_us)
+
+
+def _swipe(app: str, target: str, think_us: int) -> PlanStep:
+    return PlanStep(KIND_SWIPE, app, target, think_us)
+
+
+def _think(rng: Random, low_s: float, high_s: float) -> int:
+    return int(rng.uniform(low_s, high_s) * 1_000_000)
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """One workload: name, description, duration and plan factory."""
+
+    name: str
+    description: str
+    duration_us: int
+    plan_factory: Callable[[Random], Iterator[PlanStep]]
+    target_inputs: int
+
+    def plan(self, rng: Random) -> Iterator[PlanStep]:
+        return self.plan_factory(rng)
+
+
+# --- dataset 01: Gallery image manipulation -------------------------------------------
+
+
+def _plan_dataset01(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:gallery", _think(rng, 1.5, 3.0))
+    album = -1
+    while True:
+        album = (album + rng.randint(1, 3)) % 8
+        yield _tap("gallery", f"album:{album}", _think(rng, 4.0, 8.0))
+        photo = rng.randint(0, 5)
+        yield _tap("gallery", f"photo:{photo}", _think(rng, 3.0, 6.0))
+        for _ in range(rng.randint(0, 2)):
+            yield _swipe("gallery", "flip-next", _think(rng, 5.0, 10.0))
+        yield _tap("gallery", "btn:edit", _think(rng, 4.0, 8.0))
+        yield _tap("gallery", "btn:filter", _think(rng, 4.0, 8.0))
+        if rng.random() < 0.35:
+            yield _tap("gallery", "btn:filter", _think(rng, 4.0, 8.0))
+        yield _tap("gallery", "btn:save", _think(rng, 4.0, 7.0))
+        if rng.random() < 0.3:
+            yield _tap("gallery", "dead", _think(rng, 1.0, 2.0))
+        # Admire the saved result, then back out to the albums overview.
+        yield _tap("gallery", "nav:back", _think(rng, 8.0, 15.0))
+        yield _tap("gallery", "nav:back", _think(rng, 2.0, 4.0))
+        yield _tap("gallery", "nav:back", _think(rng, 2.0, 4.0))
+
+
+# --- dataset 02: Logo Quiz ------------------------------------------------------------
+
+
+def _plan_dataset02(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:logoquiz", _think(rng, 1.5, 3.0))
+    yield _tap("logoquiz", "btn:play", _think(rng, 1.5, 3.0))
+    level = rng.randint(0, 8)
+    yield _tap("logoquiz", f"level:{level}", _think(rng, 1.2, 2.5))
+    while True:
+        word = rng.choice(ANSWER_WORDS)
+        # Puzzle over the logo, then type the answer.
+        first_think = _think(rng, 7.0, 13.0)
+        for position, char in enumerate(word):
+            think = first_think if position == 0 else _think(rng, 1.1, 2.4)
+            yield _tap("logoquiz", f"key:{char}", think)
+        if rng.random() < 0.35:
+            yield _tap("logoquiz", "dead", _think(rng, 0.8, 1.6))
+        yield _tap("logoquiz", "btn:check", _think(rng, 1.4, 2.8))
+        if rng.random() < 0.18:
+            # Back out to pick another level.
+            yield _tap("logoquiz", "nav:back", _think(rng, 1.5, 3.0))
+            level = rng.randint(0, 8)
+            yield _tap("logoquiz", f"level:{level}", _think(rng, 1.2, 2.5))
+
+
+# --- dataset 03: Pulse widget + multimedia messaging ------------------------------------
+
+
+def _plan_dataset03(rng: Random) -> Iterator[PlanStep]:
+    while True:
+        # Glance at the widget, open Pulse from it, read an article.
+        yield _tap("launcher", "widget", _think(rng, 4.0, 8.0))
+        story_base = rng.randint(0, 3)
+        yield _tap("pulse", f"story:{story_base}", _think(rng, 3.0, 6.0))
+        yield _tap("pulse", "nav:back", _think(rng, 25.0, 45.0))
+        yield _tap("pulse", "nav:home", _think(rng, 2.0, 4.0))
+        # Then answer a text message with a picture.
+        yield _tap("launcher", "icon:messaging", _think(rng, 3.0, 6.0))
+        thread = rng.randint(0, 7)
+        yield _tap("messaging", f"thread:{thread}", _think(rng, 2.5, 5.0))
+        word = rng.choice(ANSWER_WORDS)
+        for position, char in enumerate(word):
+            think = (
+                _think(rng, 4.0, 8.0) if position == 0 else _think(rng, 1.2, 2.5)
+            )
+            yield _tap("messaging", f"key:{char}", think)
+        yield _tap("messaging", "btn:attach", _think(rng, 2.0, 4.0))
+        yield _tap("messaging", f"pick:{rng.randint(0, 5)}", _think(rng, 2.5, 5.0))
+        if rng.random() < 0.35:
+            yield _tap("messaging", "dead", _think(rng, 0.8, 1.5))
+        yield _tap("messaging", "btn:send", _think(rng, 1.5, 3.0))
+        # Wait around for a reply before checking the news again.
+        yield _tap("messaging", "nav:home", _think(rng, 15.0, 25.0))
+
+
+# --- dataset 04: Movie Studio ------------------------------------------------------------
+
+
+def _plan_dataset04(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:moviestudio", _think(rng, 1.5, 3.0))
+    clips = 0
+    selected = -1
+    while True:
+        if clips < 6:
+            yield _tap("moviestudio", "btn:addclip", _think(rng, 1.5, 3.0))
+            clips += 1
+        # Fiddle with the timeline: frequent cheap selection taps.
+        for _ in range(rng.randint(2, 4)):
+            choice = rng.randrange(clips)
+            if choice == selected:
+                choice = (choice + 1) % clips
+            if choice == selected:
+                continue  # only one clip so far and already selected
+            selected = choice
+            yield _tap("moviestudio", f"clip:{choice}", _think(rng, 1.0, 2.2))
+        if rng.random() < 0.3:
+            yield _tap("moviestudio", "dead", _think(rng, 0.8, 1.5))
+        yield _tap("moviestudio", "btn:preview", _think(rng, 3.0, 6.5))
+        if clips >= 3 and rng.random() < 0.3:
+            # Watch the preview before committing to an export.
+            yield _tap("moviestudio", "btn:export", _think(rng, 6.0, 12.0))
+
+
+# --- dataset 05: Pulse News app -----------------------------------------------------------
+
+
+def _plan_dataset05(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:pulse", _think(rng, 1.5, 3.0))
+    scroll_rows = 0
+    while True:
+        if rng.random() < 0.25 and scroll_rows == 0:
+            yield _swipe("pulse", "pull-refresh", _think(rng, 2.0, 4.5))
+        swipes = rng.randint(1, 3)
+        for _ in range(swipes):
+            if scroll_rows < 12:
+                yield _swipe("pulse", "scroll-up", _think(rng, 2.5, 6.0))
+                scroll_rows += 8  # 112 px per swipe / 14 px rows
+            else:
+                yield _swipe("pulse", "scroll-down", _think(rng, 2.5, 6.0))
+                scroll_rows -= 8
+        visible_first = max(0, (scroll_rows * 14) // 14)
+        story = min(23, visible_first + rng.randint(0, 5))
+        yield _tap("pulse", f"story:{story}", _think(rng, 3.0, 6.0))
+        yield _tap("pulse", "nav:back", _think(rng, 9.0, 20.0))
+        if rng.random() < 0.2:
+            yield _tap("pulse", "dead", _think(rng, 0.8, 1.5))
+
+
+# --- the 24-hour workload -----------------------------------------------------------------
+
+
+def _plan_day(rng: Random) -> Iterator[PlanStep]:
+    """A day in the life: short sessions separated by long idle gaps."""
+    sessions: list[Callable[[], Iterator[PlanStep]]] = [
+        lambda: _burst_email(rng),
+        lambda: _burst_news(rng),
+        lambda: _burst_messaging(rng),
+        lambda: _burst_music(rng),
+        lambda: _burst_calculator(rng),
+        lambda: _burst_social(rng),
+    ]
+    while True:
+        burst = rng.choice(sessions)
+        yield from burst()
+        # Phone goes back in the pocket for 20-80 minutes.
+        yield _tap("launcher", "dead", int(rng.uniform(20, 80) * 60e6))
+
+
+def _burst_email(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:gmail", _think(rng, 2.0, 4.0))
+    for _ in range(rng.randint(2, 4)):
+        yield _tap("gmail", f"item:{rng.randint(0, 6)}", _think(rng, 2.0, 4.0))
+        yield _tap("gmail", "nav:back", _think(rng, 5.0, 15.0))
+    yield _tap("gmail", "nav:home", _think(rng, 1.0, 2.0))
+
+
+def _burst_news(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "widget", _think(rng, 2.0, 4.0))
+    for _ in range(rng.randint(1, 3)):
+        yield _tap("pulse", f"story:{rng.randint(0, 5)}", _think(rng, 2.0, 4.0))
+        yield _tap("pulse", "nav:back", _think(rng, 8.0, 20.0))
+    yield _tap("pulse", "nav:home", _think(rng, 1.0, 2.0))
+
+
+def _burst_messaging(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:messaging", _think(rng, 2.0, 4.0))
+    yield _tap("messaging", f"thread:{rng.randint(0, 7)}", _think(rng, 1.5, 3.0))
+    for char in rng.choice(ANSWER_WORDS):
+        yield _tap("messaging", f"key:{char}", _think(rng, 0.5, 1.2))
+    yield _tap("messaging", "btn:send", _think(rng, 1.0, 2.0))
+    yield _tap("messaging", "nav:home", _think(rng, 2.0, 4.0))
+
+
+def _burst_music(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:music", _think(rng, 2.0, 4.0))
+    yield _tap("music", "btn:toggle", _think(rng, 1.0, 2.0))
+    yield _tap("music", "nav:home", _think(rng, 1.5, 3.0))
+
+
+def _burst_calculator(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:calculator", _think(rng, 2.0, 4.0))
+    for char in str(rng.randint(10, 999)):
+        yield _tap("calculator", f"key:{char}", _think(rng, 0.5, 1.0))
+    yield _tap("calculator", "key:+", _think(rng, 0.5, 1.0))
+    for char in str(rng.randint(10, 999)):
+        yield _tap("calculator", f"key:{char}", _think(rng, 0.5, 1.0))
+    yield _tap("calculator", "key:=", _think(rng, 0.5, 1.0))
+    yield _tap("calculator", "nav:home", _think(rng, 1.5, 3.0))
+
+
+def _burst_social(rng: Random) -> Iterator[PlanStep]:
+    yield _tap("launcher", "icon:facebook", _think(rng, 2.0, 4.0))
+    scrolled = rng.random() < 0.6
+    if scrolled:
+        yield _swipe("facebook", "scroll-up", _think(rng, 2.0, 5.0))
+    # One 112 px swipe over 13 px rows leaves items 9..16 on screen.
+    base = 9 if scrolled else 0
+    yield _tap("facebook", f"item:{base + rng.randint(0, 5)}", _think(rng, 1.5, 3.0))
+    yield _tap("facebook", "nav:back", _think(rng, 5.0, 12.0))
+    if scrolled:
+        yield _swipe("facebook", "scroll-down", _think(rng, 1.5, 3.0))
+    yield _tap("facebook", "nav:home", _think(rng, 1.0, 2.0))
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "01": DatasetSpec(
+        "01",
+        "Image manipulation with Gallery application.",
+        minutes(10),
+        _plan_dataset01,
+        target_inputs=68,
+    ),
+    "02": DatasetSpec(
+        "02",
+        "Logo Quiz game.",
+        minutes(10),
+        _plan_dataset02,
+        target_inputs=149,
+    ),
+    "03": DatasetSpec(
+        "03",
+        "Pulse News widget and multimedia text messaging.",
+        minutes(10),
+        _plan_dataset03,
+        target_inputs=76,
+    ),
+    "04": DatasetSpec(
+        "04",
+        "Movie Studio video creation.",
+        minutes(10),
+        _plan_dataset04,
+        target_inputs=114,
+    ),
+    "05": DatasetSpec(
+        "05",
+        "Pulse News application.",
+        minutes(10),
+        _plan_dataset05,
+        target_inputs=83,
+    ),
+    "24hour": DatasetSpec(
+        "24hour",
+        "A full day of mixed use with long idle periods.",
+        hours(24),
+        _plan_day,
+        target_inputs=218,
+    ),
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise WorkloadError(f"unknown dataset {name!r} (known: {known})") from None
+
+
+def dataset_names(include_day: bool = False) -> list[str]:
+    names = ["01", "02", "03", "04", "05"]
+    if include_day:
+        names.append("24hour")
+    return names

@@ -1,0 +1,96 @@
+"""Tests for the AutoAnnotator against real recorded sessions."""
+
+import pytest
+
+from repro.core.errors import AnnotationError
+from repro.core.simtime import millis
+from repro.analysis.annotator import AutoAnnotator
+from repro.device.display import VSYNC_PERIOD_US
+from repro.metrics.hci import SHNEIDERMAN_MODEL
+
+
+def test_annotates_every_completed_interaction(gallery_session, gallery_database):
+    _dev, wm, _trace, _video = gallery_session
+    completed = [r for r in wm.journal.interactions if r.complete]
+    assert gallery_database.lag_count == len(completed) == 3
+
+
+def test_spurious_gesture_not_annotated(gallery_database):
+    assert gallery_database.spurious_count == 1
+
+
+def test_thresholds_follow_hci_model(gallery_database):
+    for annotation in gallery_database.annotations:
+        expected = SHNEIDERMAN_MODEL.threshold_us(annotation.category)
+        assert annotation.threshold_us == expected
+
+
+def test_threshold_overrides(gallery_session):
+    _dev, wm, _trace, video = gallery_session
+    annotator = AutoAnnotator(
+        "w", threshold_overrides={"launcher:launch:gallery": millis(500)}
+    )
+    db = annotator.annotate(video, wm.journal)
+    launch = [a for a in db.annotations if a.label == "launcher:launch:gallery"]
+    assert launch[0].threshold_us == millis(500)
+
+
+def test_chosen_frame_shows_completion(gallery_session, gallery_database):
+    _dev, wm, _trace, video = gallery_session
+    for annotation in gallery_database.annotations:
+        record = next(
+            r
+            for r in wm.journal.interactions
+            if r.gesture_index == annotation.gesture_index
+        )
+        completion_frame = record.end_time // VSYNC_PERIOD_US + 1
+        # The annotation image is the screen at/after semantic completion.
+        end_frame_indices = [
+            idx
+            for idx, _c in video.iter_frames(completion_frame, completion_frame + 1)
+        ]
+        assert end_frame_indices  # completion lies inside the video
+
+
+def test_masks_include_the_status_bar_clock(gallery_database):
+    for annotation in gallery_database.annotations:
+        assert annotation.mask_rects, annotation.label
+        assert any(rect.y < 8 for rect in annotation.mask_rects)
+
+
+def test_begin_times_match_gesture_downs(gallery_session, gallery_database):
+    _dev, wm, _trace, _video = gallery_session
+    for annotation in gallery_database.annotations:
+        gesture = wm.journal.gestures[annotation.gesture_index]
+        assert annotation.begin_time_us == gesture.down_time
+
+
+def test_incomplete_interaction_rejected(gallery_session):
+    _dev, wm, _trace, video = gallery_session
+    # Forge an incomplete record.
+    import copy
+
+    journal = copy.deepcopy(wm.journal)
+    journal.interactions[0].end_time = None
+    with pytest.raises(AnnotationError):
+        AutoAnnotator("w").annotate(video, journal)
+
+
+def test_manual_pick_path(gallery_session, gallery_database):
+    _dev, wm, _trace, video = gallery_session
+    auto = gallery_database.annotations[0]
+    manual = AutoAnnotator("w").pick(
+        video,
+        wm.journal,
+        gesture_index=auto.gesture_index,
+        frame_index=auto.begin_time_us // VSYNC_PERIOD_US + 40,
+        mask_rects=auto.mask_rects,
+    )
+    assert manual.gesture_index == auto.gesture_index
+    assert manual.occurrence >= 1
+
+
+def test_manual_pick_unknown_gesture_rejected(gallery_session):
+    _dev, wm, _trace, video = gallery_session
+    with pytest.raises(AnnotationError):
+        AutoAnnotator("w").pick(video, wm.journal, gesture_index=99, frame_index=1)

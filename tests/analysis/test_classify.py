@@ -1,0 +1,28 @@
+"""Tests for input classification (Fig. 10)."""
+
+from repro.analysis.classify import classify_workload, decode_gestures
+from repro.uifw.gestures import Swipe, Tap
+
+
+def test_decode_gestures_from_real_trace(gallery_session):
+    _dev, _wm, trace, _video = gallery_session
+    gestures = decode_gestures(trace)
+    assert len(gestures) == 4
+    assert all(isinstance(g, Tap) for g in gestures)
+
+
+def test_classification_counts(gallery_session, gallery_database):
+    _dev, _wm, trace, _video = gallery_session
+    result = classify_workload("test", trace, gallery_database)
+    assert result.taps == 4
+    assert result.swipes == 0
+    assert result.actual_lags == 3
+    assert result.spurious_lags == 1
+    assert result.total_inputs == 4
+
+
+def test_as_row_shape(gallery_session, gallery_database):
+    _dev, _wm, trace, _video = gallery_session
+    row = classify_workload("ds", trace, gallery_database).as_row()
+    assert row["dataset"] == "ds"
+    assert row["total"] == row["taps"] + row["swipes"]

@@ -1,0 +1,76 @@
+"""Unit tests for frame comparison with masks and tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import MatchError
+from repro.core.geometry import Rect
+from repro.analysis.diff import build_mask, diff_pixel_count, frames_equal
+
+
+def test_no_mask_is_none():
+    assert build_mask((8, 8), []) is None
+    assert build_mask((8, 8), None) is None
+
+
+def test_mask_excludes_rect():
+    mask = build_mask((8, 8), [Rect(2, 2, 3, 3)])
+    assert not mask[2, 2] and not mask[4, 4]
+    assert mask[0, 0] and mask[5, 5]
+
+
+def test_mask_clips_out_of_bounds_rects():
+    mask = build_mask((8, 8), [Rect(6, 6, 10, 10)])
+    assert not mask[7, 7]
+    assert mask[5, 5]
+
+
+def test_diff_count_basic():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = a.copy()
+    b[0, 0] = 1
+    b[3, 3] = 1
+    assert diff_pixel_count(a, b) == 2
+
+
+def test_diff_count_ignores_masked_pixels():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = a.copy()
+    b[0, 0] = 1
+    mask = build_mask((4, 4), [Rect(0, 0, 1, 1)])
+    assert diff_pixel_count(a, b, mask) == 0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(MatchError):
+        diff_pixel_count(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_frames_equal_identity_fast_path():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    assert frames_equal(a, a)
+
+
+def test_frames_equal_with_tolerance():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = a.copy()
+    b[0, 0] = 99
+    assert not frames_equal(a, b)
+    assert frames_equal(a, b, tolerance_px=1)
+
+
+def test_tolerance_counts_pixels_not_magnitude():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = a.copy()
+    b[0, :] = 5  # four differing pixels, small magnitude
+    assert not frames_equal(a, b, tolerance_px=3)
+    assert frames_equal(a, b, tolerance_px=4)
+
+
+def test_mask_and_tolerance_combine():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = a.copy()
+    b[0, 0] = 1  # masked out
+    b[3, 3] = 1  # tolerated
+    mask = build_mask((4, 4), [Rect(0, 0, 1, 1)])
+    assert frames_equal(a, b, mask, tolerance_px=1)

@@ -1,0 +1,130 @@
+"""Unit and property tests for the suggester algorithm (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AnnotationError
+from repro.core.geometry import Rect
+from repro.analysis.suggester import (
+    SuggesterConfig,
+    change_string,
+    reduction_factor,
+    suggest,
+)
+from repro.capture.video import Video
+
+
+def frame(value):
+    return np.full((8, 8), value, dtype=np.uint8)
+
+
+def make_video(values):
+    video = Video(8, 8)
+    for index, value in enumerate(values):
+        video.record_frame(index, frame(value))
+    video.finalize(len(values))
+    return video
+
+
+def suggested_frames(values, start=0, end=None, **config):
+    video = make_video(values)
+    end = len(values) if end is None else end
+    return [
+        s.frame_index for s in suggest(video, start, end, SuggesterConfig(**config))
+    ]
+
+
+def test_paper_example_each_one_preceding_a_zero():
+    # frames: A A B B B C D D -> changes at 2 (B), 5 (C), 6 (D)
+    # B and D start still periods; C is immediately replaced.
+    assert suggested_frames([1, 1, 2, 2, 2, 3, 4, 4]) == [2, 6]
+
+
+def test_first_run_is_not_a_change():
+    assert suggested_frames([1, 1, 1, 1]) == []
+
+
+def test_final_still_period_is_suggested():
+    assert suggested_frames([1, 2, 2]) == [1]
+
+
+def test_change_on_last_frame_not_suggested():
+    # A trailing single changed frame has no zero after it.
+    assert suggested_frames([1, 1, 2]) == []
+    assert suggested_frames([1, 1]) == []
+
+
+def test_min_still_frames_prunes_short_periods():
+    values = [1, 2, 2, 3, 3, 3, 3]
+    assert suggested_frames(values) == [1, 3]
+    assert suggested_frames(values, min_still_frames=3) == [3]
+
+
+def test_mask_merges_runs_differing_only_in_masked_region():
+    base = frame(1)
+    blinked = base.copy()
+    blinked[0, 0] = 255  # a blinking cursor pixel
+    video = Video(8, 8)
+    sequence = [base, base, blinked, blinked, base, base]
+    for index, content in enumerate(sequence):
+        video.record_frame(index, content)
+    video.finalize(len(sequence))
+    no_mask = suggest(video, 0, len(sequence), SuggesterConfig())
+    masked = suggest(
+        video,
+        0,
+        len(sequence),
+        SuggesterConfig(mask_rects=(Rect(0, 0, 1, 1),)),
+    )
+    assert [s.frame_index for s in no_mask] == [2, 4]
+    assert masked == []  # with the cursor masked nothing ever changes
+
+
+def test_tolerance_handles_blinking_cursor():
+    base = frame(1)
+    blinked = base.copy()
+    blinked[0, 0] = 255
+    video = Video(8, 8)
+    for index, content in enumerate([base, blinked, base, blinked]):
+        video.record_frame(index, content)
+    video.finalize(4)
+    assert suggest(video, 0, 4, SuggesterConfig(tolerance_px=1)) == []
+
+
+def test_change_string_matches_paper_semantics():
+    video = make_video([1, 1, 2, 2, 2, 3, 4, 4])
+    # frame 1 vs 0: 0; 2 vs 1: 1; 3-4: 0 0; 5: 1; 6: 1; 7: 0
+    assert change_string(video, 0, 8) == "0100110"
+
+
+def test_reduction_factor():
+    video = make_video([1] * 10 + [2] * 10)
+    # 20-frame window, one suggestion -> factor 20.
+    assert reduction_factor(video, 0, 20) == pytest.approx(20.0)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(AnnotationError):
+        SuggesterConfig(tolerance_px=-1)
+    with pytest.raises(AnnotationError):
+        SuggesterConfig(min_still_frames=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=30))
+def test_suggestions_are_exactly_ones_followed_by_zeros(values):
+    """Property: suggested frames differ from their predecessor and equal
+    their successor — the paper's definition."""
+    video = make_video(values)
+    bits = change_string(video, 0, len(values))
+    suggested = suggested_frames(values)
+    for index in suggested:
+        assert values[index] != values[index - 1]
+        assert values[index + 1] == values[index]
+    # Completeness: every 1-followed-by-0 within the window is suggested.
+    for position, bit in enumerate(bits[:-1]):
+        frame_index = position + 1
+        if bit == "1" and bits[position + 1] == "0":
+            assert frame_index in suggested

@@ -1,0 +1,148 @@
+"""Behavioural tests for the Gallery app (Dataset 01)."""
+
+import pytest
+
+from repro.core.simtime import seconds
+
+
+def drive(phone, steps, governor="fixed:2150400", tail=4):
+    """Schedule (time_s, app, target) taps/swipes and run the session."""
+    device, wm = phone
+    device.set_governor(governor)
+    for when, app_name, target in steps:
+        def fire(app_name=app_name, target=target, when=when):
+            app = wm.app(app_name)
+            if target.startswith("swipe:"):
+                start, end, duration = app.swipe_target(target[6:])
+                device.touchscreen.schedule_swipe(
+                    seconds(when), start, end, duration
+                )
+            elif target == "nav:back":
+                device.touchscreen.schedule_tap(
+                    seconds(when), wm.back_button_point()
+                )
+            elif target == "nav:home":
+                device.touchscreen.schedule_tap(
+                    seconds(when), wm.home_button_point()
+                )
+            else:
+                device.touchscreen.schedule_tap(
+                    seconds(when), app.tap_target(target)
+                )
+
+        device.engine.schedule_at(seconds(when) - 1, fire)
+    last = max(when for when, _a, _t in steps)
+    device.run_for(seconds(last + tail))
+    return wm.journal
+
+
+def test_launch_has_progressive_stages(phone):
+    device, wm = phone
+    device.set_governor("fixed:300000")
+    launcher = wm.app("launcher")
+    frames_before = device.display.frames_composed
+    device.touchscreen.schedule_tap(
+        seconds(1), launcher.tap_target("icon:gallery")
+    )
+    device.run_for(seconds(10))
+    # Eight thumbnail stages => at least eight composed frames.
+    assert device.display.frames_composed - frames_before >= 8
+    assert wm.journal.interactions[0].complete
+
+
+def test_full_edit_save_flow(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:gallery"),
+            (4, "gallery", "album:2"),
+            (6, "gallery", "photo:1"),
+            (8, "gallery", "btn:edit"),
+            (10, "gallery", "btn:filter"),
+            (13, "gallery", "btn:save"),
+        ],
+        tail=6,
+    )
+    labels = [r.label for r in journal.interactions]
+    assert labels == [
+        "launcher:launch:gallery",
+        "gallery:open-album:2",
+        "gallery:open-photo:1",
+        "gallery:enter-edit",
+        "gallery:apply-filter",
+        "gallery:save-to-sd",
+    ]
+    assert all(r.complete for r in journal.interactions)
+
+
+def test_save_is_a_complex_category_lag(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:gallery"),
+            (4, "gallery", "album:0"),
+            (6, "gallery", "photo:0"),
+            (8, "gallery", "btn:edit"),
+            (10, "gallery", "btn:save"),
+        ],
+        tail=6,
+    )
+    save = journal.interactions[-1]
+    assert save.category == "complex"
+    # ~3.3 Gcycles at 2.15 GHz ~ 1.5 s.
+    assert 1_200_000 < save.duration_us < 2_500_000
+
+
+def test_photo_flip_swipe(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:gallery"),
+            (4, "gallery", "album:0"),
+            (6, "gallery", "photo:0"),
+            (8, "gallery", "swipe:flip-next"),
+        ],
+    )
+    assert journal.interactions[-1].label == "gallery:flip-photo"
+    assert journal.gestures[-1].kind == "swipe"
+
+
+def test_back_navigation_chain(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:gallery"),
+            (4, "gallery", "album:0"),
+            (6, "gallery", "nav:back"),
+            (8, "gallery", "nav:back"),
+        ],
+    )
+    _device, wm = phone
+    gallery = wm.app("gallery")
+    assert gallery.view is gallery._albums_view
+    back_records = [r for r in journal.interactions if r.label == "nav:back"]
+    assert len(back_records) == 2 and all(r.complete for r in back_records)
+
+
+def test_taps_during_busy_save_are_ignored(phone):
+    # At 0.30 GHz the launch takes ~6.3 s and the save ~11 s; the filter
+    # tap at t=21 s lands mid-save and must be ignored by the busy guard.
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:gallery"),
+            (9, "gallery", "album:0"),
+            (13, "gallery", "photo:0"),
+            (16.5, "gallery", "btn:edit"),
+            (19, "gallery", "btn:save"),
+            (21, "gallery", "btn:filter"),
+        ],
+        governor="fixed:300000",
+        tail=16,
+    )
+    filter_interactions = [
+        r for r in journal.interactions if "filter" in r.label
+    ]
+    assert filter_interactions == []
+    save = [r for r in journal.interactions if "save" in r.label][0]
+    assert save.complete

@@ -1,0 +1,90 @@
+"""Behavioural tests for the Logo Quiz app (Dataset 02)."""
+
+from repro.core.simtime import seconds
+
+from tests.apps.test_gallery import drive
+
+
+def test_menu_to_puzzle_flow(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:logoquiz"),
+            (4, "logoquiz", "btn:play"),
+            (6, "logoquiz", "level:4"),
+        ],
+    )
+    labels = [r.label for r in journal.interactions]
+    assert labels == [
+        "launcher:launch:logoquiz",
+        "logoquiz:open-levels",
+        "logoquiz:open-level:4",
+    ]
+    assert all(r.complete for r in journal.interactions)
+
+
+def test_typing_is_typing_category(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:logoquiz"),
+            (4, "logoquiz", "btn:play"),
+            (6, "logoquiz", "level:0"),
+            (9, "logoquiz", "key:c"),
+            (10, "logoquiz", "key:a"),
+            (11, "logoquiz", "key:t"),
+        ],
+    )
+    typed = [r for r in journal.interactions if r.label.startswith("logoquiz:type:")]
+    assert [r.label[-1] for r in typed] == ["c", "a", "t"]
+    assert all(r.category == "typing" for r in typed)
+    _device, wm = phone
+    assert wm.app("logoquiz")._answer_field.content == "cat"
+
+
+def test_check_answer_advances_logo(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:logoquiz"),
+            (4, "logoquiz", "btn:play"),
+            (6, "logoquiz", "level:0"),
+            (9, "logoquiz", "key:o"),
+            (10, "logoquiz", "key:k"),
+            (11, "logoquiz", "btn:check"),
+        ],
+    )
+    _device, wm = phone
+    quiz = wm.app("logoquiz")
+    assert quiz._current_logo == 1
+    assert quiz._answer_field.content == ""
+    assert (0, 0) in quiz._solved
+
+
+def test_typing_lag_fast_at_high_frequency(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:logoquiz"),
+            (4, "logoquiz", "btn:play"),
+            (6, "logoquiz", "level:0"),
+            (9, "logoquiz", "key:q"),
+        ],
+    )
+    key = journal.interactions[-1]
+    # 100e6 cycles at 2.15 GHz < the 150 ms typing threshold.
+    assert key.duration_us < 150_000
+
+
+def test_cursor_is_a_dynamic_region_in_puzzle(phone):
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:logoquiz"),
+            (4, "logoquiz", "btn:play"),
+            (6, "logoquiz", "level:0"),
+        ],
+    )
+    _device, wm = phone
+    quiz = wm.app("logoquiz")
+    assert quiz.dynamic_regions() == [quiz._answer_field.cursor_rect]

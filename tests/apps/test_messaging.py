@@ -1,0 +1,76 @@
+"""Behavioural tests for the messaging app (Dataset 03)."""
+
+from tests.apps.test_gallery import drive
+
+
+def compose_steps(extra=()):
+    return [
+        (1, "launcher", "icon:messaging"),
+        (4, "messaging", "thread:3"),
+        (6, "messaging", "key:h"),
+        (7, "messaging", "key:i"),
+        *extra,
+    ]
+
+
+def test_open_thread_shows_compose(phone):
+    drive(phone, compose_steps())
+    _device, wm = phone
+    messaging = wm.app("messaging")
+    assert messaging.view is messaging._compose_view
+    assert messaging._body_field.content == "hi"
+
+
+def test_attach_flow(phone):
+    drive(
+        phone,
+        compose_steps(
+            [(9, "messaging", "btn:attach"), (11, "messaging", "pick:4")]
+        ),
+    )
+    _device, wm = phone
+    messaging = wm.app("messaging")
+    assert messaging._attached == "picker:image:4"
+    assert messaging._attachment.visible
+    assert messaging.view is messaging._compose_view
+
+
+def test_send_clears_compose_and_bumps_history(phone):
+    journal = drive(
+        phone,
+        compose_steps([(9, "messaging", "btn:send")]),
+        tail=8,
+    )
+    _device, wm = phone
+    messaging = wm.app("messaging")
+    assert messaging._messages_sent == 1
+    assert messaging._body_field.content == ""
+    assert not messaging._send_bar.visible
+    send = [r for r in journal.interactions if r.label == "messaging:send-mms"]
+    assert send and send[0].complete
+
+
+def test_send_with_empty_body_is_ignored(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:messaging"),
+            (4, "messaging", "thread:0"),
+            (6, "messaging", "btn:send"),
+        ],
+    )
+    assert all(r.label != "messaging:send-mms" for r in journal.interactions)
+
+
+def test_send_progress_produces_intermediate_frames(phone):
+    device, wm = phone
+    frames_before = None
+
+    def capture_count():
+        nonlocal frames_before
+        frames_before = device.display.frames_composed
+
+    device.engine.schedule_at(8_500_000, capture_count)
+    drive(phone, compose_steps([(9, "messaging", "btn:send")]), tail=8)
+    # Five progress-bar stages → at least five composed frames after t=8.5s.
+    assert device.display.frames_composed - frames_before >= 5

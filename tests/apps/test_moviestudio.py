@@ -1,0 +1,104 @@
+"""Behavioural tests for Movie Studio (Dataset 04)."""
+
+from tests.apps.test_gallery import drive
+
+
+def test_add_and_select_clips(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:addclip"),
+            (7, "moviestudio", "btn:addclip"),
+            (10, "moviestudio", "clip:0"),
+        ],
+    )
+    _device, wm = phone
+    studio = wm.app("moviestudio")
+    assert studio._clip_count == 2
+    assert studio._selected_clip == 0
+    labels = [r.label for r in journal.interactions]
+    assert "moviestudio:select-clip:0" in labels
+
+
+def test_preview_requires_clips(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:preview"),
+        ],
+    )
+    assert all("preview" not in r.label for r in journal.interactions)
+
+
+def test_preview_render_is_complex_category(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:addclip"),
+            (7, "moviestudio", "btn:preview"),
+        ],
+        tail=6,
+    )
+    preview = [r for r in journal.interactions if "render-preview" in r.label]
+    assert preview and preview[0].category == "complex"
+    _device, wm = phone
+    studio = wm.app("moviestudio")
+    assert studio._previews_rendered == 1
+    assert not studio._render_bar.visible
+
+
+def test_export_requires_a_preview_first(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:addclip"),
+            (7, "moviestudio", "btn:export"),
+        ],
+    )
+    assert all("export" not in r.label for r in journal.interactions)
+
+
+def test_export_after_preview(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:addclip"),
+            (7, "moviestudio", "btn:preview"),
+            (11, "moviestudio", "btn:export"),
+        ],
+        tail=8,
+    )
+    export = [r for r in journal.interactions if "export-movie" in r.label]
+    assert export and export[0].complete
+    _device, wm = phone
+    assert wm.app("moviestudio")._exports_done == 1
+
+
+def test_reselecting_same_clip_is_ignored(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "btn:addclip"),
+            (7, "moviestudio", "clip:0"),
+            (9, "moviestudio", "clip:0"),
+        ],
+    )
+    selects = [r for r in journal.interactions if "select-clip" in r.label]
+    assert len(selects) == 1  # the second tap changes nothing on screen
+
+
+def test_tap_invisible_clip_slot_ignored(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:moviestudio"),
+            (4, "moviestudio", "clip:3"),
+        ],
+    )
+    assert all("select-clip" not in r.label for r in journal.interactions)

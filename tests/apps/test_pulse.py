@@ -1,0 +1,91 @@
+"""Behavioural tests for Pulse News (Datasets 03 and 05)."""
+
+from tests.apps.test_gallery import drive
+
+
+def test_feed_scroll_swipe(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "swipe:scroll-up"),
+        ],
+    )
+    assert journal.interactions[-1].label == "pulse:scroll-feed"
+    _device, wm = phone
+    assert wm.app("pulse")._feed.scroll_px == 112
+
+
+def test_open_story_two_stage_load(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "story:2"),
+        ],
+    )
+    story = journal.interactions[-1]
+    assert story.label == "pulse:open-story:2"
+    assert story.category == "common"
+    _device, wm = phone
+    pulse = wm.app("pulse")
+    assert pulse.view is pulse._article_view
+    assert pulse._article_image.visible
+
+
+def test_pull_to_refresh_at_top(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "swipe:pull-refresh"),
+        ],
+    )
+    assert journal.interactions[-1].label == "pulse:refresh-feed"
+    _device, wm = phone
+    assert not wm.app("pulse")._refresh_banner.visible
+
+
+def test_pull_gesture_when_scrolled_does_not_refresh(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "swipe:scroll-up"),
+            (8, "pulse", "swipe:pull-refresh"),
+        ],
+    )
+    labels = [r.label for r in journal.interactions]
+    assert "pulse:refresh-feed" not in labels
+    # The downward gesture scrolled back instead.
+    assert labels.count("pulse:scroll-feed") == 2
+
+
+def test_back_from_article_restores_feed(phone):
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "story:1"),
+            (8, "pulse", "nav:back"),
+        ],
+    )
+    _device, wm = phone
+    pulse = wm.app("pulse")
+    assert pulse.view is pulse._feed_view
+
+
+def test_resume_keeps_feed_state(phone):
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:pulse"),
+            (5, "pulse", "swipe:scroll-up"),
+            (8, "pulse", "nav:home"),
+            (11, "launcher", "icon:pulse"),
+        ],
+    )
+    _device, wm = phone
+    pulse = wm.app("pulse")
+    assert wm.foreground is pulse
+    assert pulse._feed.scroll_px == 112  # warm resume preserved state

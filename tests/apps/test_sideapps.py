@@ -1,0 +1,91 @@
+"""Behavioural tests for the side apps (feed apps, calculator, music)."""
+
+from repro.core.simtime import seconds
+
+from tests.apps.test_gallery import drive
+
+
+def test_feed_app_open_item(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:facebook"),
+            (4, "facebook", "item:2"),
+        ],
+    )
+    item = journal.interactions[-1]
+    assert item.label == "facebook:open-item:2"
+    _device, wm = phone
+    facebook = wm.app("facebook")
+    assert facebook.view is facebook._item_view
+
+
+def test_feed_scroll_then_back(phone):
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:gmail"),
+            (4, "gmail", "swipe:scroll-up"),
+            (7, "gmail", "item:9"),
+            (10, "gmail", "nav:back"),
+        ],
+    )
+    _device, wm = phone
+    gmail = wm.app("gmail")
+    assert gmail.view is gmail._feed_view
+    assert gmail._feed.scroll_px == 112
+
+
+def test_calculator_typing_and_evaluate(phone):
+    journal = drive(
+        phone,
+        [
+            (1, "launcher", "icon:calculator"),
+            (4, "calculator", "key:7"),
+            (5, "calculator", "key:+"),
+            (6, "calculator", "key:2"),
+            (7, "calculator", "key:="),
+        ],
+    )
+    categories = [r.category for r in journal.interactions[1:]]
+    assert categories == ["typing", "typing", "typing", "simple_frequent"]
+    _device, wm = phone
+    calc = wm.app("calculator")
+    assert calc._entry == ""  # evaluate cleared the entry
+    assert calc._results == 1
+
+
+def test_music_toggle_and_background_decode(phone):
+    device, wm = phone
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:music"),
+            (4, "music", "btn:toggle"),
+        ],
+    )
+    music = wm.app("music")
+    assert music.playing
+    cycles_before = device.scheduler.completed_cycles
+    device.run_for(seconds(10))
+    # Decode work keeps arriving in the background while playing.
+    assert device.scheduler.completed_cycles > cycles_before
+    assert music.dynamic_regions() == [music._seek_bar.rect]
+
+
+def test_music_pause_stops_decode(phone):
+    device, wm = phone
+    drive(
+        phone,
+        [
+            (1, "launcher", "icon:music"),
+            (4, "music", "btn:toggle"),
+            (8, "music", "btn:toggle"),
+        ],
+    )
+    music = wm.app("music")
+    assert not music.playing
+    device.run_for(seconds(4))  # drain any queued decode
+    cycles = device.scheduler.completed_cycles
+    device.run_for(seconds(8))
+    assert device.scheduler.completed_cycles == cycles

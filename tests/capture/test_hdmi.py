@@ -1,0 +1,77 @@
+"""Tests for the capture card attached to the display."""
+
+import numpy as np
+import pytest
+
+from repro.capture import CaptureCard
+from repro.core.engine import Engine
+from repro.core.errors import CaptureError
+from repro.device.display import VSYNC_PERIOD_US, Display
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    display = Display(engine, 8, 8)
+    card = CaptureCard(display)
+    return engine, display, card
+
+
+def test_capture_seeds_initial_frame(rig):
+    engine, display, card = rig
+    display.framebuffer.fill(9)
+    card.start(engine.now)
+    engine.run_until(5 * VSYNC_PERIOD_US)
+    video = card.stop(engine.now)
+    assert video.frame_at(0)[0, 0] == 9
+    assert video.segment_count == 1
+
+
+def test_composed_frames_recorded(rig):
+    engine, display, card = rig
+    value = [0]
+    display.set_composer(lambda fb: fb.fill(value[0]))
+    card.start(engine.now)
+
+    def change(to):
+        value[0] = to
+        display.invalidate()
+
+    engine.schedule_at(2 * VSYNC_PERIOD_US + 5, lambda: change(50))
+    engine.run_until(10 * VSYNC_PERIOD_US)
+    video = card.stop(engine.now)
+    assert video.frame_at(2)[0, 0] == 0
+    assert video.frame_at(3)[0, 0] == 50
+    assert video.frame_count == 11
+
+
+def test_stop_without_start_rejected(rig):
+    _engine, _display, card = rig
+    with pytest.raises(CaptureError):
+        card.stop(0)
+
+
+def test_double_start_rejected(rig):
+    engine, _display, card = rig
+    card.start(engine.now)
+    with pytest.raises(CaptureError):
+        card.start(engine.now)
+
+
+def test_restart_after_stop_allowed(rig):
+    engine, _display, card = rig
+    card.start(engine.now)
+    card.stop(engine.now)
+    card.start(engine.now)
+    video = card.stop(engine.now)
+    assert video.frame_count >= 1
+
+
+def test_frames_composed_while_stopped_not_recorded(rig):
+    engine, display, card = rig
+    card.start(engine.now)
+    first = card.stop(engine.now)
+    display.set_composer(lambda fb: fb.fill(77))
+    display.invalidate()
+    engine.run_until(2 * VSYNC_PERIOD_US)
+    assert first.frame_count == 1

@@ -1,0 +1,80 @@
+"""Shared fixtures: devices, mini-sessions and recorded artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AutoAnnotator
+from repro.apps import install_standard_apps
+from repro.capture import CaptureCard
+from repro.core.simtime import seconds
+from repro.device.device import Device
+from repro.harness.experiment import record_workload
+from repro.replay import GeteventRecorder
+from repro.uifw.view import WindowManager
+from repro.workloads import dataset
+
+
+@pytest.fixture
+def device() -> Device:
+    """A bare simulated device (no apps, no governor)."""
+    return Device()
+
+
+@pytest.fixture
+def phone():
+    """A device with the standard app set installed; returns (device, wm)."""
+    dev = Device()
+    wm = WindowManager(dev)
+    install_standard_apps(wm)
+    return dev, wm
+
+
+def run_gallery_session(governor: str):
+    """A short canonical session: launch gallery, open album, open photo,
+    one spurious tap.  Returns (device, wm, trace, video)."""
+    dev = Device()
+    wm = WindowManager(dev)
+    install_standard_apps(wm)
+    dev.set_governor(governor)
+    recorder = GeteventRecorder(dev.input_subsystem)
+    recorder.start()
+    card = CaptureCard(dev.display)
+    card.start(dev.engine.now)
+    launcher = wm.app("launcher")
+    gallery = wm.app("gallery")
+    touch = dev.touchscreen
+    touch.schedule_tap(seconds(1), launcher.tap_target("icon:gallery"))
+    dev.engine.schedule_at(
+        seconds(11),
+        lambda: touch.schedule_tap(seconds(12), gallery.tap_target("album:2")),
+    )
+    dev.engine.schedule_at(
+        seconds(17),
+        lambda: touch.schedule_tap(seconds(18), gallery.tap_target("photo:1")),
+    )
+    dev.engine.schedule_at(
+        seconds(22),
+        lambda: touch.schedule_tap(seconds(23), gallery.tap_target("dead")),
+    )
+    dev.run_for(seconds(28))
+    return dev, wm, recorder.stop(), card.stop(dev.engine.now)
+
+
+@pytest.fixture(scope="session")
+def gallery_session():
+    """The canonical session recorded at the lowest fixed frequency."""
+    return run_gallery_session("fixed:300000")
+
+
+@pytest.fixture(scope="session")
+def gallery_database(gallery_session):
+    """Annotation database of the canonical session."""
+    _dev, wm, _trace, video = gallery_session
+    return AutoAnnotator("gallery-session").annotate(video, wm.journal)
+
+
+@pytest.fixture(scope="session")
+def artifacts_ds03():
+    """Recorded artifacts of dataset 03 (fast to record, has messaging)."""
+    return record_workload(dataset("03"))

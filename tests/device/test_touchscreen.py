@@ -1,0 +1,102 @@
+"""Unit tests for the touchscreen's multi-touch protocol encoding."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+from repro.core.geometry import Point
+from repro.device.input_device import InputSubsystem
+from repro.device.touchscreen import Touchscreen
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    subsystem = InputSubsystem()
+    node = subsystem.register("/dev/input/event1", "touch")
+    screen = Touchscreen(engine, node, 72, 128)
+    events = []
+    node.add_observer(events.append)
+    return engine, screen, events
+
+
+def packets(events):
+    """Split an event list into SYN_REPORT-terminated packets."""
+    out, current = [], []
+    for event in events:
+        current.append(event)
+        if event.is_syn_report():
+            out.append(current)
+            current = []
+    return out
+
+
+def test_tap_produces_down_and_up_packets(setup):
+    engine, screen, events = setup
+    screen.schedule_tap(1000, Point(30, 40))
+    engine.run_until(1_000_000)
+    groups = packets(events)
+    assert len(groups) == 2
+    down, up = groups
+    codes = {(e.type, e.code): e.value for e in down}
+    assert codes[(ev.EV_ABS, ev.ABS_MT_POSITION_X)] == 30
+    assert codes[(ev.EV_ABS, ev.ABS_MT_POSITION_Y)] == 40
+    assert (ev.EV_ABS, ev.ABS_MT_TRACKING_ID) in codes
+    up_codes = {(e.type, e.code): e.value for e in up}
+    assert up_codes[(ev.EV_ABS, ev.ABS_MT_TRACKING_ID)] == ev.TRACKING_ID_NONE
+
+
+def test_tap_up_time_matches_hold(setup):
+    engine, screen, events = setup
+    up_time = screen.schedule_tap(1000, Point(1, 1), hold_us=50_000)
+    assert up_time == 51_000
+    engine.run_until(1_000_000)
+    assert events[-1].timestamp == 51_000
+
+
+def test_swipe_has_move_packets_between_down_and_up(setup):
+    engine, screen, events = setup
+    screen.schedule_swipe(0, Point(36, 100), Point(36, 20), 180_000)
+    engine.run_until(1_000_000)
+    groups = packets(events)
+    assert len(groups) > 3  # down + moves + up
+    first = {(e.type, e.code): e.value for e in groups[0]}
+    assert first[(ev.EV_ABS, ev.ABS_MT_POSITION_Y)] == 100
+    # The last move reaches the end point before the release.
+    move_ys = [
+        {(e.type, e.code): e.value for e in group}.get(
+            (ev.EV_ABS, ev.ABS_MT_POSITION_Y)
+        )
+        for group in groups[1:-1]
+    ]
+    assert move_ys[-1] == 20
+
+
+def test_tracking_ids_increment(setup):
+    engine, screen, events = setup
+    screen.schedule_tap(0, Point(1, 1))
+    screen.schedule_tap(200_000, Point(2, 2))
+    engine.run_until(1_000_000)
+    ids = [
+        e.value
+        for e in events
+        if e.type == ev.EV_ABS
+        and e.code == ev.ABS_MT_TRACKING_ID
+        and e.value != ev.TRACKING_ID_NONE
+    ]
+    assert ids[1] == ids[0] + 1
+
+
+def test_out_of_bounds_tap_rejected(setup):
+    _engine, screen, _events = setup
+    with pytest.raises(SimulationError):
+        screen.schedule_tap(0, Point(72, 0))
+    with pytest.raises(SimulationError):
+        screen.schedule_tap(0, Point(0, 128))
+
+
+def test_zero_duration_swipe_rejected(setup):
+    _engine, screen, _events = setup
+    with pytest.raises(SimulationError):
+        screen.schedule_swipe(0, Point(1, 1), Point(2, 2), 0)

@@ -1,0 +1,58 @@
+"""Tests for the QoE-aware governor (the paper's future-work direction)."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.governors.qoe_aware import QoeAwareGovernor
+
+
+def make(rig, **tunables):
+    governor = QoeAwareGovernor(rig.context(), **tunables)
+    governor.start()
+    return governor
+
+
+def touch(rig):
+    rig.touch_node.emit(
+        ev.InputEvent(
+            rig.engine.now,
+            "/dev/input/event1",
+            ev.EV_ABS,
+            ev.ABS_MT_TRACKING_ID,
+            3,
+        )
+    )
+
+
+def test_starts_at_most_efficient_frequency(rig):
+    governor = make(rig)
+    assert rig.policy.current_khz == governor.efficient_khz == 960_000
+
+
+def test_boosts_on_input(rig):
+    governor = make(rig)
+    touch(rig)
+    assert rig.policy.current_khz == governor.boost_freq_khz
+    assert governor.boost_freq_khz > governor.efficient_khz
+
+
+def test_holds_boost_while_work_pending(rig):
+    governor = make(rig, settle_time_us=60_000)
+    touch(rig)
+    rig.submit_work(2e9)
+    rig.run(500_000)
+    assert rig.policy.current_khz == governor.boost_freq_khz
+
+
+def test_settles_after_queue_drains(rig):
+    governor = make(rig, settle_time_us=60_000)
+    touch(rig)
+    rig.submit_work(100e6)
+    rig.run(3_000_000)
+    assert rig.policy.current_khz == governor.efficient_khz
+
+
+def test_custom_boost_frequency(rig):
+    governor = make(rig, boost_freq_khz=2_150_400)
+    touch(rig)
+    assert rig.policy.current_khz == 2_150_400

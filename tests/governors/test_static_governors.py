@@ -1,0 +1,79 @@
+"""Tests for performance, powersave and userspace governors + registry."""
+
+import pytest
+
+from repro.core.errors import GovernorError
+from repro.governors.base import create_governor, registered_governors
+from repro.governors.performance import PerformanceGovernor, PowersaveGovernor
+from repro.governors.userspace import UserspaceGovernor
+
+
+def test_performance_pins_max(rig):
+    governor = PerformanceGovernor(rig.context())
+    governor.start()
+    assert rig.policy.current_khz == rig.policy.max_khz
+
+
+def test_powersave_pins_min(rig):
+    rig.policy.set_target(rig.policy.max_khz)
+    governor = PowersaveGovernor(rig.context())
+    governor.start()
+    assert rig.policy.current_khz == rig.policy.min_khz
+
+
+def test_userspace_holds_fixed_frequency(rig):
+    governor = UserspaceGovernor(rig.context(), fixed_khz=960_000)
+    governor.start()
+    rig.submit_work(5e9)
+    rig.run(3_000_000)
+    assert rig.policy.current_khz == 960_000
+    assert len(rig.policy.transitions) == 2  # initial + pin
+
+
+def test_userspace_set_speed(rig):
+    governor = UserspaceGovernor(rig.context(), fixed_khz=960_000)
+    governor.start()
+    governor.set_speed(1_497_600)
+    assert rig.policy.current_khz == 1_497_600
+
+
+def test_userspace_rejects_non_opp(rig):
+    with pytest.raises(GovernorError):
+        UserspaceGovernor(rig.context(), fixed_khz=123)
+
+
+def test_registry_contains_all_governors():
+    names = registered_governors()
+    for expected in (
+        "ondemand",
+        "conservative",
+        "interactive",
+        "performance",
+        "powersave",
+        "userspace",
+        "qoe_aware",
+    ):
+        assert expected in names
+
+
+def test_create_by_name(rig):
+    governor = create_governor("ondemand", rig.context())
+    assert governor.name == "ondemand"
+
+
+def test_create_fixed_shorthand(rig):
+    governor = create_governor("fixed:960000", rig.context())
+    governor.start()
+    assert rig.policy.current_khz == 960_000
+
+
+def test_create_unknown_rejected(rig):
+    with pytest.raises(GovernorError):
+        create_governor("turbo", rig.context())
+
+
+def test_double_start_rejected(rig):
+    governor = PerformanceGovernor(rig.context())
+    governor.start()
+    with pytest.raises(GovernorError):
+        governor.start()

@@ -1,0 +1,37 @@
+"""Persistence tests for workload artifacts (the reusable study artefact)."""
+
+from repro.harness.experiment import WorkloadArtifacts, replay_run
+
+
+def test_save_load_roundtrip(tmp_path, artifacts_ds03):
+    artifacts_ds03.save(tmp_path / "ds03")
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03")
+    assert loaded.name == artifacts_ds03.name
+    assert loaded.duration_us == artifacts_ds03.duration_us
+    assert loaded.trace.dumps() == artifacts_ds03.trace.dumps()
+    assert loaded.database.lag_count == artifacts_ds03.database.lag_count
+    assert (
+        loaded.classification.as_row()
+        == artifacts_ds03.classification.as_row()
+    )
+
+
+def test_loaded_artifacts_replay_identically(tmp_path, artifacts_ds03):
+    artifacts_ds03.save(tmp_path / "ds03")
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03")
+    original = replay_run(artifacts_ds03, "fixed:960000")
+    reloaded = replay_run(loaded, "fixed:960000")
+    assert (
+        original.lag_profile.durations_us()
+        == reloaded.lag_profile.durations_us()
+    )
+    assert original.energy_j == reloaded.energy_j
+
+
+def test_saved_layout_contains_expected_files(tmp_path, artifacts_ds03):
+    artifacts_ds03.save(tmp_path / "ds03")
+    root = tmp_path / "ds03"
+    assert (root / "trace.getevent").exists()
+    assert (root / "meta.json").exists()
+    assert (root / "annotations" / "meta.json").exists()
+    assert (root / "annotations" / "images.npz").exists()

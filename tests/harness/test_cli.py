@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Logo Quiz game." in out
+
+
+def test_classify_command(capsys):
+    assert main(["classify", "--datasets", "03"]) == 0
+    out = capsys.readouterr().out
+    assert "Spurious lags" in out
+
+
+def test_sweep_command_small(capsys):
+    assert main(["sweep", "--dataset", "03", "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 12" in out
+    assert "oracle" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["sweep"])
+    assert args.dataset == "02"
+    assert args.reps == 5

@@ -1,0 +1,85 @@
+"""Tests for figure/table regeneration."""
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(artifacts_ds03):
+    return run_sweep(artifacts_ds03, reps=1)
+
+
+def test_table1_lists_five_datasets():
+    rows = figures.table1_rows()
+    assert len(rows) == 5
+    assert rows[1][1] == "Logo Quiz game."
+
+
+def test_format_table_alignment():
+    text = figures.format_table(["a", "bb"], [["1", "2"], ["33", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_fig3_snapshot_brackets_the_lag(sweep):
+    snapshot = figures.fig3_series(sweep)
+    assert snapshot.window_start_s <= snapshot.input_time_s
+    assert snapshot.input_time_s < snapshot.serviced_time_s
+    assert snapshot.serviced_time_s <= snapshot.window_end_s
+    assert snapshot.governor_series and snapshot.oracle_series
+    rendered = figures.render_fig3(snapshot)
+    assert "A: input received" in rendered
+
+
+def test_fig5_lines_match_getevent_format(artifacts_ds03):
+    lines = figures.fig5_lines(artifacts_ds03)
+    assert lines
+    assert all(line.startswith("/dev/input/event1: ") for line in lines)
+
+
+def test_fig10_rows_include_average(artifacts_ds03):
+    rows = figures.fig10_rows([artifacts_ds03, artifacts_ds03])
+    assert rows[-1][0] == "average"
+
+
+def test_fig11_rows_have_all_configs(sweep):
+    rows = figures.fig11_rows(sweep)
+    assert "0.30 GHz" in rows and "ondemand" in rows
+    assert rows["0.30 GHz"].mean_ms > rows["2.15 GHz"].mean_ms
+
+
+def test_fig12_rows_end_with_oracle(sweep):
+    rows = figures.fig12_rows(sweep)
+    assert rows[-1][0] == "oracle"
+    assert rows[-1][-1] == "1.00"
+
+
+def test_fig13_rows_kinds(sweep):
+    kinds = {kind for _l, kind, _e, _i in figures.fig13_rows(sweep)}
+    assert kinds == {"fixed", "governor", "oracle"}
+
+
+def test_fig14_summary_includes_averages(sweep):
+    energy_rows, irritation_rows = figures.fig14_rows({"03": sweep})
+    assert [row[0] for row in energy_rows] == [
+        "conservative",
+        "interactive",
+        "ondemand",
+    ]
+    assert len(energy_rows[0]) == 3  # governor, ds03, avg
+    assert len(irritation_rows) == 3
+
+
+def test_headline_savings_positive(sweep):
+    savings = figures.headline_savings({"03": sweep})
+    assert savings["vs_max_frequency_max"] > 0.15
+    assert savings["vs_best_governor_max"] > 0.0
+
+
+def test_collapse_change_string():
+    assert figures.collapse_change_string("0100000") == "0 1 0{x5}"
+    assert figures.collapse_change_string("") == ""
+    assert figures.collapse_change_string("111") == "111"

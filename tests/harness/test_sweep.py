@@ -1,0 +1,91 @@
+"""Tests for the sweep orchestration and oracle composition."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.harness.sweep import (
+    SweepResult,
+    config_label,
+    fixed_configs,
+    governor_configs,
+    run_sweep,
+    sweep_configs,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep(artifacts_ds03):
+    return run_sweep(artifacts_ds03, reps=1)
+
+
+def test_seventeen_configurations():
+    configs = sweep_configs()
+    assert len(configs) == 17
+    assert len(fixed_configs()) == 14
+    assert governor_configs() == ["conservative", "interactive", "ondemand"]
+
+
+def test_config_labels():
+    assert config_label("fixed:960000") == "0.96 GHz"
+    assert config_label("ondemand") == "ondemand"
+
+
+def test_sweep_runs_every_config(small_sweep):
+    assert set(small_sweep.configs()) == set(sweep_configs())
+    for config in small_sweep.configs():
+        assert len(small_sweep.runs[config]) == 1
+
+
+def test_oracle_energy_not_above_max_frequency(small_sweep):
+    max_energy = small_sweep.mean_energy_j("fixed:2150400")
+    assert small_sweep.oracle.energy_j < max_energy
+
+
+def test_oracle_base_is_efficient_opp(small_sweep):
+    assert small_sweep.oracle.base_khz == 960_000
+
+
+def test_fixed_energy_curve_is_u_shaped(small_sweep):
+    energies = [
+        small_sweep.mean_energy_j(config) for config in fixed_configs()
+    ]
+    best = energies.index(min(energies))
+    assert 0 < best < len(energies) - 1
+
+
+def test_irritation_decreases_with_frequency(small_sweep):
+    irritations = [
+        small_sweep.mean_irritation_s(config) for config in fixed_configs()
+    ]
+    # Allow small non-monotonicities from frame quantisation.
+    assert irritations[0] > irritations[-1]
+    assert irritations[-1] == pytest.approx(0.0, abs=0.2)
+
+
+def test_conservative_most_irritating_governor(small_sweep):
+    conservative = small_sweep.mean_irritation_s("conservative")
+    assert conservative > small_sweep.mean_irritation_s("interactive")
+    assert conservative > small_sweep.mean_irritation_s("ondemand")
+
+
+def test_conservative_cheapest_governor(small_sweep):
+    conservative = small_sweep.mean_energy_j("conservative")
+    assert conservative < small_sweep.mean_energy_j("interactive")
+    assert conservative < small_sweep.mean_energy_j("ondemand")
+
+
+def test_pooled_lag_durations(small_sweep):
+    durations = small_sweep.pooled_lag_durations_ms("ondemand")
+    assert len(durations) == len(small_sweep.runs["ondemand"][0].lag_profile)
+
+
+def test_unknown_config_rejected(small_sweep):
+    with pytest.raises(ReproError):
+        small_sweep.mean_energy_j("warp-drive")
+
+
+def test_normalisation_to_oracle(small_sweep):
+    ratio = small_sweep.energy_normalised_to_oracle("fixed:960000")
+    assert ratio == pytest.approx(
+        small_sweep.mean_energy_j("fixed:960000") / small_sweep.oracle.energy_j
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for periodic kernel timers."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+from repro.kernel.timers import PeriodicTimer
+
+
+def test_fires_at_fixed_period():
+    engine = Engine()
+    ticks = []
+    timer = PeriodicTimer(engine, 10_000, lambda: ticks.append(engine.now))
+    timer.start()
+    engine.run_until(35_000)
+    assert ticks == [10_000, 20_000, 30_000]
+
+
+def test_stop_cancels_future_fires():
+    engine = Engine()
+    ticks = []
+    timer = PeriodicTimer(engine, 10_000, lambda: ticks.append(engine.now))
+    timer.start()
+    engine.schedule_at(25_000, timer.stop)
+    engine.run_until(100_000)
+    assert ticks == [10_000, 20_000]
+
+
+def test_no_drift_accumulation():
+    engine = Engine()
+    ticks = []
+    timer = PeriodicTimer(engine, 33_333, lambda: ticks.append(engine.now))
+    timer.start()
+    engine.run_until(10 * 33_333)
+    assert ticks == [33_333 * k for k in range(1, 11)]
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(SimulationError):
+        PeriodicTimer(Engine(), 0, lambda: None)
+
+
+def test_set_period_takes_effect_after_armed_expiry():
+    engine = Engine()
+    ticks = []
+    timer = PeriodicTimer(engine, 10_000, lambda: ticks.append(engine.now))
+    timer.start()
+    # The 20_000 expiry is already armed when the period changes, so the
+    # new period applies from the expiry after it.
+    engine.schedule_at(10_000, lambda: timer.set_period(20_000))
+    engine.run_until(55_000)
+    assert ticks == [10_000, 20_000, 40_000]
+
+
+def test_double_start_is_noop():
+    engine = Engine()
+    ticks = []
+    timer = PeriodicTimer(engine, 10_000, lambda: ticks.append(engine.now))
+    timer.start()
+    timer.start()
+    engine.run_until(10_000)
+    assert ticks == [10_000]
+
+
+def test_callback_stopping_timer_mid_fire():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        if len(ticks) == 2:
+            timer.stop()
+
+    timer = PeriodicTimer(engine, 10_000, tick)
+    timer.start()
+    engine.run_until(100_000)
+    assert ticks == [10_000, 20_000]

@@ -1,0 +1,81 @@
+"""Recorder + replay agent: the paper's core repeatability property."""
+
+import pytest
+
+from repro.core.errors import ReplayError
+from repro.core.geometry import Point
+from repro.core.simtime import seconds
+from repro.device.device import Device
+from repro.replay import GeteventRecorder, ReplayAgent
+from repro.replay.trace import EventTrace
+
+
+def record_two_taps():
+    device = Device()
+    recorder = GeteventRecorder(device.input_subsystem)
+    recorder.start()
+    device.touchscreen.schedule_tap(seconds(1), Point(30, 40))
+    device.touchscreen.schedule_tap(seconds(2), Point(50, 60))
+    device.run_for(seconds(3))
+    return recorder.stop()
+
+
+def test_recorder_captures_all_packets():
+    trace = record_two_taps()
+    assert trace.touch_down_times() == [seconds(1), seconds(2)]
+    # Each tap: 5 ABS + SYN on down, 1 ABS + SYN on up = 8 events.
+    assert len(trace) == 16
+
+
+def test_recorder_stop_detaches():
+    device = Device()
+    recorder = GeteventRecorder(device.input_subsystem)
+    recorder.start()
+    trace = recorder.stop()
+    device.touchscreen.schedule_tap(seconds(1), Point(30, 40))
+    device.run_for(seconds(2))
+    assert len(trace) == 0
+
+
+def test_replay_reproduces_exact_timing():
+    trace = record_two_taps()
+    device = Device()
+    seen = []
+    device.input_subsystem.node("/dev/input/event1").add_observer(
+        lambda e: seen.append(e)
+    )
+    agent = ReplayAgent(device.engine, device.input_subsystem)
+    last = agent.schedule(trace)
+    device.run_for(seconds(3))
+    assert agent.events_injected == len(trace)
+    assert [e.timestamp for e in seen] == [e.timestamp for e in trace]
+    assert last == trace.events[-1].timestamp
+
+
+def test_replay_with_offset():
+    trace = record_two_taps()
+    device = Device()
+    seen = []
+    device.input_subsystem.node("/dev/input/event1").add_observer(seen.append)
+    agent = ReplayAgent(device.engine, device.input_subsystem)
+    agent.schedule(trace, start_offset_us=seconds(10))
+    device.run_for(seconds(14))
+    assert seen[0].timestamp == trace.events[0].timestamp + seconds(10)
+
+
+def test_replay_rejects_negative_offset():
+    agent = ReplayAgent(Device().engine, Device().input_subsystem)
+    with pytest.raises(ReplayError):
+        agent.schedule(EventTrace(), start_offset_us=-1)
+
+
+def test_recorded_then_replayed_trace_is_identical_when_rerecorded():
+    """Record a replay of a recording: byte-identical getevent dumps."""
+    original = record_two_taps()
+    device = Device()
+    recorder = GeteventRecorder(device.input_subsystem)
+    recorder.start()
+    ReplayAgent(device.engine, device.input_subsystem).schedule(original)
+    device.run_for(seconds(3))
+    rerecorded = recorder.stop()
+    assert rerecorded.dumps() == original.dumps()

@@ -1,0 +1,89 @@
+"""Tests for the App base class: launch, resume, splash, affordances."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.simtime import seconds
+from repro.uifw.app import App
+
+
+def launch_app(phone, name, at=1):
+    device, wm = phone
+    launcher = wm.app("launcher")
+    device.touchscreen.schedule_tap(
+        seconds(at), launcher.tap_target(f"icon:{name}")
+    )
+
+
+def test_unattached_app_rejects_context_access():
+    app = App()
+    with pytest.raises(SimulationError):
+        _ = app.context
+
+
+def test_default_tap_target_rejected(phone):
+    _device, wm = phone
+    with pytest.raises(SimulationError):
+        wm.app("music").tap_target("nonexistent")
+    with pytest.raises(SimulationError):
+        wm.app("music").swipe_target("nonexistent")
+
+
+def test_cold_start_shows_splash_then_app(phone):
+    device, wm = phone
+    device.set_governor("fixed:300000")
+    pulse = wm.app("pulse")
+    launch_app(phone, "pulse")
+    device.run_for(seconds(2))
+    # Mid-launch: the splash loading view is what the user sees.
+    assert wm.foreground is pulse
+    assert pulse.view.name == "pulse:splash"
+    device.run_for(seconds(8))
+    assert pulse.launched
+    assert pulse.view.name == "pulse:feed"
+
+
+def test_resume_switches_only_at_completion(phone):
+    device, wm = phone
+    device.set_governor("fixed:300000")
+    launch_app(phone, "calculator")
+    device.run_for(seconds(6))
+    # Go home, then resume.
+    device.touchscreen.schedule_tap(device.engine.now, wm.home_button_point())
+    device.run_for(seconds(2))
+    assert wm.foreground is wm.app("launcher")
+    launch_app(phone, "calculator", at=device.engine.now // 1_000_000 + 1)
+    # Immediately after the tap the launcher is still on screen (the
+    # resume render has not completed at 0.30 GHz).
+    device.run_for(seconds(1) + 50_000)
+    assert wm.foreground is wm.app("launcher")
+    device.run_for(seconds(2))
+    assert wm.foreground is wm.app("calculator")
+
+
+def test_resume_is_faster_than_cold_start(phone):
+    device, wm = phone
+    device.set_governor("fixed:960000")
+    launch_app(phone, "gallery", at=1)
+    device.run_for(seconds(6))
+    cold = wm.journal.interactions[0]
+    device.touchscreen.schedule_tap(device.engine.now, wm.home_button_point())
+    device.run_for(seconds(2))
+    launch_app(phone, "gallery", at=device.engine.now // 1_000_000 + 1)
+    device.run_for(seconds(4))
+    warm = [
+        r
+        for r in wm.journal.interactions
+        if r.label == "launcher:launch:gallery"
+    ][-1]
+    assert warm.duration_us < cold.duration_us / 4
+
+
+def test_label_defaults_to_name(phone):
+    _device, wm = phone
+    assert wm.app("gallery").label() == "gallery"
+
+
+def test_screen_size_matches_display(phone):
+    _device, wm = phone
+    assert wm.app("gallery").screen_size() == (72, 128)

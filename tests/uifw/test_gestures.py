@@ -1,0 +1,110 @@
+"""Unit tests for the gesture decoder."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.uifw.gestures import GestureDecoder, Swipe, Tap
+
+PATH = "/dev/input/event1"
+
+
+def feed(decoder, triples):
+    """Feed (time, code, value) EV_ABS triples plus SYN terminators."""
+    for timestamp, code, value in triples:
+        if code == "SYN":
+            decoder.on_event(
+                ev.InputEvent(timestamp, PATH, ev.EV_SYN, ev.SYN_REPORT, 0)
+            )
+        else:
+            decoder.on_event(
+                ev.InputEvent(timestamp, PATH, ev.EV_ABS, code, value)
+            )
+
+
+def tap_events(down=1000, up=71_000, x=30, y=40):
+    return [
+        (down, ev.ABS_MT_TRACKING_ID, 5),
+        (down, ev.ABS_MT_POSITION_X, x),
+        (down, ev.ABS_MT_POSITION_Y, y),
+        (down, "SYN", 0),
+        (up, ev.ABS_MT_TRACKING_ID, ev.TRACKING_ID_NONE),
+        (up, "SYN", 0),
+    ]
+
+
+def test_decodes_tap():
+    gestures = []
+    decoder = GestureDecoder(gestures.append)
+    feed(decoder, tap_events())
+    assert len(gestures) == 1
+    tap = gestures[0]
+    assert isinstance(tap, Tap)
+    assert tap.point.x == 30 and tap.point.y == 40
+    assert tap.down_time == 1000 and tap.up_time == 71_000
+
+
+def test_decodes_swipe_with_moves():
+    gestures = []
+    decoder = GestureDecoder(gestures.append)
+    events = [
+        (0, ev.ABS_MT_TRACKING_ID, 5),
+        (0, ev.ABS_MT_POSITION_X, 36),
+        (0, ev.ABS_MT_POSITION_Y, 100),
+        (0, "SYN", 0),
+        (50_000, ev.ABS_MT_POSITION_X, 36),
+        (50_000, ev.ABS_MT_POSITION_Y, 60),
+        (50_000, "SYN", 0),
+        (100_000, ev.ABS_MT_POSITION_X, 36),
+        (100_000, ev.ABS_MT_POSITION_Y, 20),
+        (100_000, "SYN", 0),
+        (150_000, ev.ABS_MT_TRACKING_ID, ev.TRACKING_ID_NONE),
+        (150_000, "SYN", 0),
+    ]
+    feed(decoder, events)
+    swipe = gestures[0]
+    assert isinstance(swipe, Swipe)
+    assert swipe.start.y == 100 and swipe.end.y == 20
+    assert swipe.delta_y == -80
+
+
+def test_tiny_movement_still_a_tap():
+    gestures = []
+    decoder = GestureDecoder(gestures.append)
+    events = [
+        (0, ev.ABS_MT_TRACKING_ID, 5),
+        (0, ev.ABS_MT_POSITION_X, 30),
+        (0, ev.ABS_MT_POSITION_Y, 40),
+        (0, "SYN", 0),
+        (30_000, ev.ABS_MT_POSITION_X, 32),
+        (30_000, ev.ABS_MT_POSITION_Y, 41),
+        (30_000, "SYN", 0),
+        (60_000, ev.ABS_MT_TRACKING_ID, ev.TRACKING_ID_NONE),
+        (60_000, "SYN", 0),
+    ]
+    feed(decoder, events)
+    assert isinstance(gestures[0], Tap)
+
+
+def test_release_without_position_is_ignored():
+    gestures = []
+    decoder = GestureDecoder(gestures.append)
+    feed(
+        decoder,
+        [
+            (0, ev.ABS_MT_TRACKING_ID, 5),
+            (0, "SYN", 0),
+            (50_000, ev.ABS_MT_TRACKING_ID, ev.TRACKING_ID_NONE),
+            (50_000, "SYN", 0),
+        ],
+    )
+    assert gestures == []
+    assert decoder.gestures_decoded == 0
+
+
+def test_consecutive_gestures_decode_independently():
+    gestures = []
+    decoder = GestureDecoder(gestures.append)
+    feed(decoder, tap_events(down=0, up=60_000))
+    feed(decoder, tap_events(down=200_000, up=260_000, x=10, y=10))
+    assert len(gestures) == 2
+    assert gestures[1].point.x == 10

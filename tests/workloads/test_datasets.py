@@ -1,0 +1,76 @@
+"""Tests for the dataset plan generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads.datasets import DATASETS, dataset, dataset_names
+
+
+def test_table1_datasets_present():
+    assert dataset_names() == ["01", "02", "03", "04", "05"]
+    assert dataset_names(include_day=True)[-1] == "24hour"
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(WorkloadError):
+        dataset("99")
+
+
+def test_descriptions_match_table1():
+    assert "Gallery" in dataset("01").description
+    assert "Logo Quiz" in dataset("02").description
+    assert "messaging" in dataset("03").description
+    assert "Movie Studio" in dataset("04").description
+    assert "Pulse News" in dataset("05").description
+
+
+def test_ten_minute_durations():
+    for name in dataset_names():
+        assert dataset(name).duration_us == 600_000_000
+
+
+def test_day_duration():
+    assert dataset("24hour").duration_us == 24 * 3600 * 1_000_000
+
+
+def test_plans_are_deterministic_per_seed():
+    for name in dataset_names(include_day=True):
+        spec = dataset(name)
+        a = list(itertools.islice(spec.plan(random.Random(7)), 40))
+        b = list(itertools.islice(spec.plan(random.Random(7)), 40))
+        assert a == b, name
+
+
+def test_plans_differ_across_seeds():
+    spec = dataset("01")
+    a = list(itertools.islice(spec.plan(random.Random(1)), 40))
+    b = list(itertools.islice(spec.plan(random.Random(2)), 40))
+    assert a != b
+
+
+def test_dataset02_is_typing_dominated():
+    steps = list(itertools.islice(dataset("02").plan(random.Random(3)), 120))
+    keys = [s for s in steps if s.target.startswith("key:")]
+    assert len(keys) > len(steps) // 2
+
+
+def test_dataset05_mixes_taps_and_swipes():
+    steps = list(itertools.islice(dataset("05").plan(random.Random(3)), 120))
+    kinds = {s.kind for s in steps}
+    assert kinds == {"tap", "swipe"}
+
+
+def test_day_plan_has_long_idle_gaps():
+    steps = list(itertools.islice(dataset("24hour").plan(random.Random(3)), 80))
+    assert max(s.think_us for s in steps) > 20 * 60 * 1_000_000
+
+
+def test_every_plan_includes_spurious_taps():
+    for name in dataset_names():
+        steps = list(
+            itertools.islice(dataset(name).plan(random.Random(11)), 300)
+        )
+        assert any(s.target == "dead" for s in steps), name
