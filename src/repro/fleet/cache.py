@@ -1,0 +1,133 @@
+"""Content-addressed on-disk cache of run results.
+
+A cache entry is keyed by a SHA-256 over (cache format version, workload
+fingerprint, spec identity).  The fingerprint hashes the recorded
+artifacts themselves — trace, annotation database, duration, recording
+seed — so editing a dataset plan, changing the recorder, or re-recording
+with a different master seed all invalidate exactly the affected cells
+and nothing else.  Entries are immutable once written: a warm re-run of a
+study loads every completed cell and executes only invalidated ones.
+
+Values are stored as pickles under ``<root>/<aa>/<key>.pkl`` (two-level
+fan-out keeps directories small) and written atomically via a temp file
+and :func:`os.replace`, so a crashed or concurrent writer can never leave
+a truncated entry a later reader would trust.  Unreadable entries are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.fleet.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.experiment import RunResult, WorkloadArtifacts
+
+CACHE_VERSION = 1
+_PICKLE_PROTOCOL = 4  # fixed so fingerprints are stable across interpreters
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of the simulator's own source tree.
+
+    Folded into every cache key so that editing any ``repro`` module —
+    a governor, the power model, the matcher — invalidates previously
+    cached results instead of silently serving output of old code.
+    Computed once per process.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def workload_fingerprint(artifacts: "WorkloadArtifacts") -> str:
+    """Content hash of a recorded workload's replay-relevant state."""
+    blob = pickle.dumps(
+        (
+            CACHE_VERSION,
+            artifacts.spec.name,
+            artifacts.duration_us,
+            artifacts.recording_master_seed,
+            artifacts.trace,
+            artifacts.database,
+        ),
+        protocol=_PICKLE_PROTOCOL,
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` pickles."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: RunSpec, fingerprint: str) -> str:
+        payload = (
+            f"v{CACHE_VERSION}|{code_fingerprint()}|{fingerprint}|"
+            f"{spec.cache_token()}"
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> "RunResult | None":
+        """The cached result for ``key``, or None (counting a miss)."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # Missing, truncated, or written by an incompatible version
+            # (unpickling can raise nearly anything, e.g. ImportError for
+            # a relocated class): a miss either way — the cell re-executes.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: "RunResult") -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

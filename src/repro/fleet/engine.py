@@ -1,0 +1,209 @@
+"""The fleet executor: parallel, cache-aware dispatch of run specs.
+
+One :class:`FleetEngine` turns a list of :class:`RunSpec` into the same
+ordered list of :class:`RunResult` the serial loop produced, but
+
+* **parallel** — specs are chunked across a :mod:`multiprocessing` pool of
+  simulated devices; each worker receives the recorded artifacts once (at
+  pool initialisation) rather than per task,
+* **deterministic** — every replay seeds its RNG streams from the spec
+  alone, and results are merged back in spec order, so output is
+  bit-identical to the serial path regardless of worker count or
+  completion order,
+* **cache-aware** — with a :class:`~repro.fleet.cache.ResultCache`, cells
+  whose content address (spec + workload fingerprint) is already stored
+  are served without executing, and fresh results are stored on the way
+  out,
+* **failure-capturing** — an exception inside a worker is caught there
+  and shipped back as a :class:`WorkerFailure` (with its traceback text);
+  the remaining cells still run, then the engine raises a single
+  :class:`FleetError` describing every failed cell.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.errors import ReproError
+from repro.fleet.cache import ResultCache, workload_fingerprint
+from repro.fleet.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - harness imports fleet; break the cycle
+    from repro.harness.experiment import RunResult, WorkloadArtifacts
+
+ProgressHook = Callable[[RunSpec, bool], None]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFailure:
+    """One spec's failure, captured inside the worker that ran it."""
+
+    spec: RunSpec
+    exc_type: str
+    message: str
+    traceback_text: str
+
+    def describe(self) -> str:
+        return f"{self.spec.label()}: {self.exc_type}: {self.message}"
+
+
+class FleetError(ReproError):
+    """Raised after a fleet run in which one or more specs failed."""
+
+    def __init__(self, failures: list[WorkerFailure]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} fleet run(s) failed:"]
+        lines.extend(f"  - {failure.describe()}" for failure in failures)
+        lines.append("First worker traceback:")
+        lines.append(failures[0].traceback_text)
+        super().__init__("\n".join(lines))
+
+
+@dataclass(slots=True)
+class FleetStats:
+    """What one :meth:`FleetEngine.run` actually did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    stored: int = 0
+    failures: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} runs: {self.cache_hits} cached, "
+            f"{self.executed} executed"
+        )
+
+
+def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> "RunResult":
+    """Run one spec to completion on a fresh simulated device."""
+    from repro.harness.experiment import replay_run
+
+    return replay_run(
+        artifacts,
+        spec.config,
+        rep=spec.rep,
+        master_seed=spec.master_seed,
+        **spec.tunables_dict(),
+    )
+
+
+# --- worker-process side ----------------------------------------------------------
+
+_WORKER_ARTIFACTS: WorkloadArtifacts | None = None
+
+
+def _init_worker(artifacts: WorkloadArtifacts) -> None:
+    global _WORKER_ARTIFACTS
+    _WORKER_ARTIFACTS = artifacts
+
+
+def _run_in_worker(
+    item: tuple[int, RunSpec],
+) -> tuple[int, RunResult | None, WorkerFailure | None]:
+    index, spec = item
+    try:
+        return index, execute_spec(_WORKER_ARTIFACTS, spec), None
+    except Exception as exc:  # shipped home; the pool must not die
+        failure = WorkerFailure(
+            spec=spec,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
+        return index, None, failure
+
+
+# --- parent side ------------------------------------------------------------------
+
+
+class FleetEngine:
+    """Dispatch specs across ``jobs`` workers with optional result cache."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress: ProgressHook | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ReproError(f"fleet needs at least one worker, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.last_stats = FleetStats()
+
+    def run(
+        self, artifacts: WorkloadArtifacts, specs: list[RunSpec]
+    ) -> list[RunResult]:
+        """Execute ``specs`` and return results in spec order."""
+        stats = FleetStats(total=len(specs))
+        self.last_stats = stats
+        results: dict[int, RunResult] = {}
+        keys: dict[int, str] = {}
+        pending: list[tuple[int, RunSpec]] = []
+
+        if self.cache is not None:
+            fingerprint = workload_fingerprint(artifacts)
+            for index, spec in enumerate(specs):
+                key = self.cache.key_for(spec, fingerprint)
+                keys[index] = key
+                cached = self.cache.load(key)
+                if cached is None:
+                    pending.append((index, spec))
+                else:
+                    results[index] = cached
+                    stats.cache_hits += 1
+                    self._report(spec, cached=True)
+        else:
+            pending = list(enumerate(specs))
+
+        failures: list[WorkerFailure] = []
+        for index, result, failure in self._execute(artifacts, pending):
+            spec = specs[index]
+            if failure is not None:
+                failures.append(failure)
+                stats.failures += 1
+                continue
+            results[index] = result
+            stats.executed += 1
+            if self.cache is not None:
+                self.cache.store(keys[index], result)
+                stats.stored += 1
+            self._report(spec, cached=False)
+
+        if failures:
+            failures.sort(key=lambda f: f.spec.label())
+            raise FleetError(failures)
+        return [results[index] for index in range(len(specs))]
+
+    def _execute(
+        self,
+        artifacts: WorkloadArtifacts,
+        pending: list[tuple[int, RunSpec]],
+    ) -> Iterable[tuple[int, RunResult | None, WorkerFailure | None]]:
+        if not pending:
+            return
+        jobs = min(self.jobs, len(pending))
+        if jobs == 1:
+            # Inline path: identical semantics, no pool overhead.  This is
+            # also the reference the parallel path must be bit-identical to.
+            _init_worker(artifacts)
+            for item in pending:
+                yield _run_in_worker(item)
+            return
+        chunksize = max(1, len(pending) // (jobs * 4))
+        with multiprocessing.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(artifacts,)
+        ) as pool:
+            yield from pool.imap_unordered(
+                _run_in_worker, pending, chunksize=chunksize
+            )
+
+    def _report(self, spec: RunSpec, cached: bool) -> None:
+        if self.progress is not None:
+            self.progress(spec, cached)

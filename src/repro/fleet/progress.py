@@ -1,0 +1,92 @@
+"""Aggregated progress and ETA reporting for fleet runs.
+
+The old CLI callback printed one unbuffered line per run with no sense of
+scale; on an 85-run sweep the user could not tell 5% from 95% done.  A
+:class:`ProgressReporter` is bound to a spec list before the fleet starts
+and then observes completions (from any worker, in any order), printing
+``config c/C, rep r/R`` positions, an aggregate ``done/total`` count, an
+ETA extrapolated from completed runs, and a ``[cached]`` marker for cells
+served from the result cache.  Every line is flushed so progress is
+visible through pipes and log files.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.fleet.spec import RunSpec
+
+
+class ProgressReporter:
+    """Streamed ``done/total`` + ETA lines over an enumerated spec list."""
+
+    def __init__(self, label: str, stream: TextIO | None = None) -> None:
+        self.label = label
+        self._stream = stream
+        self._config_index: dict[str, int] = {}
+        self._reps = 0
+        self._total = 0
+        self._done = 0
+        self._cached = 0
+        self._started_at: float | None = None
+
+    def bind(self, specs: list[RunSpec]) -> "ProgressReporter":
+        """Learn the grid shape; called by the sweep before dispatch."""
+        self._config_index = {}
+        self._reps = 0
+        for spec in specs:
+            self._config_index.setdefault(spec.config, len(self._config_index))
+            self._reps = max(self._reps, spec.rep + 1)
+        self._total = len(specs)
+        self._done = 0
+        self._cached = 0
+        self._started_at = time.monotonic()
+        return self
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    @property
+    def cached(self) -> int:
+        return self._cached
+
+    def __call__(self, spec: RunSpec, cached: bool = False) -> None:
+        """Observe one completed run (the engine's progress hook).
+
+        An unbound reporter (used directly as an engine hook without a
+        spec list) grows its totals as observations arrive instead of
+        claiming a grid shape it doesn't know.
+        """
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        self._done += 1
+        if cached:
+            self._cached += 1
+        self._reps = max(self._reps, spec.rep + 1)
+        self._total = max(self._total, self._done)
+        config_pos = (
+            self._config_index.setdefault(spec.config, len(self._config_index))
+            + 1
+        )
+        line = (
+            f"  {self.label}: {spec.config} "
+            f"(config {config_pos}/{max(1, len(self._config_index))}, "
+            f"rep {spec.rep + 1}/{max(1, self._reps)}) — "
+            f"{self._done}/{self._total} runs{self._eta_suffix()}"
+        )
+        if cached:
+            line += " [cached]"
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(line, file=stream, flush=True)
+
+    def _eta_suffix(self) -> str:
+        executed = self._done - self._cached
+        remaining = self._total - self._done
+        if executed <= 0 or remaining <= 0 or self._started_at is None:
+            return ""
+        elapsed = time.monotonic() - self._started_at
+        eta = elapsed / executed * remaining
+        return f", ETA {eta:.0f}s"

@@ -1,0 +1,91 @@
+"""Run specifications: the unit of work the fleet dispatches.
+
+A :class:`RunSpec` names one cell of the study grid — *which* workload,
+under *which* frequency configuration, *which* repetition, seeded *how* —
+without holding any simulation state.  Specs are pure values: hashable,
+picklable, and cheap to enumerate, so the same list can drive the serial
+path, a multiprocessing fleet, or a cache lookup and always mean the same
+execution.  Determinism comes from the replay harness deriving every RNG
+stream from ``(master_seed, dataset, config, rep)``; two executions of the
+same spec are therefore bit-identical wherever they run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+Tunables = tuple[tuple[str, object], ...]
+
+
+def freeze_tunables(tunables: dict[str, object] | Tunables | None) -> Tunables:
+    """Normalise governor tunables to a sorted, hashable tuple of pairs."""
+    if not tunables:
+        return ()
+    if isinstance(tunables, dict):
+        items = tunables.items()
+    else:
+        items = tunables
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """One replay of one workload under one configuration.
+
+    ``config`` is a governor name (``ondemand``, …) or ``fixed:<khz>``;
+    ``tunables`` are governor keyword overrides, stored as sorted pairs so
+    that specs stay hashable and their cache tokens canonical.
+    """
+
+    dataset: str
+    config: str
+    rep: int
+    master_seed: int
+    tunables: Tunables = field(default=())
+
+    def tunables_dict(self) -> dict[str, object]:
+        return dict(self.tunables)
+
+    def label(self) -> str:
+        return f"{self.dataset}:{self.config}:rep{self.rep}"
+
+    def cache_token(self) -> str:
+        """Canonical JSON identity used in content-addressed cache keys."""
+        return json.dumps(
+            {
+                "dataset": self.dataset,
+                "config": self.config,
+                "rep": self.rep,
+                "master_seed": self.master_seed,
+                "tunables": [list(pair) for pair in self.tunables],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def enumerate_sweep_specs(
+    dataset: str,
+    configs: list[str],
+    reps: int,
+    master_seed: int,
+    tunables: dict[str, object] | Tunables | None = None,
+) -> list[RunSpec]:
+    """The study grid in serial order: config-major, then repetition.
+
+    This is the exact nesting the serial sweep used, so an ordered merge
+    of fleet results reproduces the serial output bit for bit.
+    """
+    frozen = freeze_tunables(tunables)
+    return [
+        RunSpec(
+            dataset=dataset,
+            config=config,
+            rep=rep,
+            master_seed=master_seed,
+            tunables=frozen,
+        )
+        for config in configs
+        for rep in range(reps)
+    ]

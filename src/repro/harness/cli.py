@@ -4,8 +4,17 @@ Examples::
 
     repro-qoe table1
     repro-qoe classify --datasets 01 02 03 04 05
-    repro-qoe sweep --dataset 02 --reps 5
-    repro-qoe study --reps 2            # all datasets, Figs. 12-14 + headline
+    repro-qoe sweep --dataset 02 --reps 5 --jobs 4
+    repro-qoe sweep --dataset 02 --reps 5          # warm re-run: all cached
+    repro-qoe study --reps 2 --jobs 8              # all datasets, Figs. 12-14
+    repro-qoe study --reps 5 --no-cache --master-seed 7
+
+Sweeps and studies dispatch their runs through the fleet engine
+(:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes, and a
+content-addressed result cache (``--cache-dir``, default
+``~/.cache/repro-qoe``; disable with ``--no-cache``) means a re-run only
+executes cells whose inputs changed.  Results are bit-identical to a
+serial, uncached run.
 """
 
 from __future__ import annotations
@@ -13,18 +22,77 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.core.errors import ReproError
+from repro.fleet.cache import ResultCache
+from repro.fleet.progress import ProgressReporter
 from repro.harness import figures
-from repro.harness.experiment import record_workload
+from repro.harness.experiment import DEFAULT_MASTER_SEED, record_workload
 from repro.harness.sweep import run_sweep
 from repro.workloads.datasets import dataset, dataset_names
 
+DEFAULT_CACHE_DIR = "~/.cache/repro-qoe"
 
-def _progress(prefix: str):
-    def report(config: str, rep: int) -> None:
-        print(f"  {prefix}: {config} rep {rep}", file=sys.stderr)
 
-    return report
+def _progress(prefix: str, verbose: bool) -> ProgressReporter | None:
+    """Aggregated, flushed progress lines (``config c/C, rep r/R``)."""
+    return ProgressReporter(prefix) if verbose else None
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the replay fleet (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-execute; neither read nor write the result cache",
+    )
+
+
+def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--master-seed", type=int, default=None, metavar="SEED",
+        help=(
+            "master seed for recording and replay RNG streams "
+            f"(default: {DEFAULT_MASTER_SEED})"
+        ),
+    )
+
+
+def _cache(args) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    root = Path(args.cache_dir).expanduser()
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ReproError(f"unusable cache directory {root}: {exc}") from exc
+    return ResultCache(root)
+
+
+def _master_seed(args) -> int:
+    if args.master_seed is None:
+        return DEFAULT_MASTER_SEED
+    return args.master_seed
+
+
+def _print_cache_summary(cache: ResultCache | None) -> None:
+    if cache is not None:
+        print(f"# cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})")
 
 
 def cmd_table1(_args) -> int:
@@ -33,22 +101,32 @@ def cmd_table1(_args) -> int:
 
 
 def cmd_classify(args) -> int:
-    artifacts = [record_workload(dataset(name)) for name in args.datasets]
+    seed = _master_seed(args)
+    artifacts = [
+        record_workload(dataset(name), master_seed=seed)
+        for name in args.datasets
+    ]
     print(figures.render_fig10(artifacts))
     return 0
 
 
 def cmd_sweep(args) -> int:
     t0 = time.time()
-    artifacts = record_workload(dataset(args.dataset))
+    seed = _master_seed(args)
+    cache = _cache(args)
+    artifacts = record_workload(dataset(args.dataset), master_seed=seed)
     sweep = run_sweep(
         artifacts,
         reps=args.reps,
-        progress=_progress(args.dataset) if args.verbose else None,
+        master_seed=seed,
+        jobs=args.jobs,
+        cache=cache,
+        progress=_progress(args.dataset, args.verbose),
     )
     print(f"# dataset {args.dataset}: {artifacts.input_count} inputs, "
           f"{artifacts.database.lag_count} lags "
           f"({time.time() - t0:.1f}s wall)")
+    _print_cache_summary(cache)
     print()
     print("Fig. 11 — lag duration distributions")
     print(figures.render_fig11(sweep))
@@ -62,15 +140,20 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_study(args) -> int:
+    seed = _master_seed(args)
+    cache = _cache(args)
     sweeps = {}
     artifacts_list = []
     for name in args.datasets:
-        artifacts = record_workload(dataset(name))
+        artifacts = record_workload(dataset(name), master_seed=seed)
         artifacts_list.append(artifacts)
         sweeps[name] = run_sweep(
             artifacts,
             reps=args.reps,
-            progress=_progress(name) if args.verbose else None,
+            master_seed=seed,
+            jobs=args.jobs,
+            cache=cache,
+            progress=_progress(name, args.verbose),
         )
     print("Fig. 10 — input classification")
     print(figures.render_fig10(artifacts_list))
@@ -82,6 +165,9 @@ def cmd_study(args) -> int:
     print("Headline savings")
     for key, value in savings.items():
         print(f"  {key}: {100 * value:.0f}%")
+    if cache is not None:
+        print()
+        _print_cache_summary(cache)
     return 0
 
 
@@ -103,12 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify.add_argument(
         "--datasets", nargs="+", default=dataset_names(), metavar="DS"
     )
+    _add_seed_flag(p_classify)
     p_classify.set_defaults(func=cmd_classify)
 
     p_sweep = sub.add_parser("sweep", help="one dataset's 85-run sweep")
     p_sweep.add_argument("--dataset", default="02")
     p_sweep.add_argument("--reps", type=int, default=5)
     p_sweep.add_argument("--verbose", action="store_true")
+    _add_fleet_flags(p_sweep)
+    _add_seed_flag(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_study = sub.add_parser("study", help="full study: Figs. 10, 14 + headline")
@@ -117,6 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.add_argument("--reps", type=int, default=5)
     p_study.add_argument("--verbose", action="store_true")
+    _add_fleet_flags(p_study)
+    _add_seed_flag(p_study)
     p_study.set_defaults(func=cmd_study)
     return parser
 
@@ -125,6 +216,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        print(f"repro-qoe: error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: normal exit.
         import os

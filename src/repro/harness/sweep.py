@@ -4,6 +4,11 @@
 replayed each workload for each of the three governors.  To reduce the
 statistical error, we repeat this process 5 times per workload.
 Altogether we execute each workload 5 * (14 + 3) = 85 times."
+
+The 85 runs are enumerated as :class:`~repro.fleet.spec.RunSpec` values
+and dispatched through a :class:`~repro.fleet.engine.FleetEngine`, so a
+sweep can run on N workers (``jobs``) and reuse cached cells
+(``cache``) while producing output bit-identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -14,7 +19,11 @@ from typing import Callable
 from repro.core.errors import ReproError
 from repro.device.frequencies import FrequencyTable, snapdragon_8074_table
 from repro.device.power import PowerModel
-from repro.harness.experiment import RunResult, WorkloadArtifacts, replay_run
+from repro.fleet.cache import ResultCache
+from repro.fleet.engine import FleetEngine
+from repro.fleet.progress import ProgressReporter
+from repro.fleet.spec import RunSpec, enumerate_sweep_specs
+from repro.harness.experiment import RunResult, WorkloadArtifacts
 from repro.metrics.hci import HciModel
 from repro.oracle.builder import OracleResult, build_oracle
 
@@ -89,6 +98,27 @@ class SweepResult:
         return results
 
 
+def _progress_hook(
+    progress: Callable[[str, int], None] | ProgressReporter | None,
+    specs: list[RunSpec],
+) -> Callable[[RunSpec, bool], None] | None:
+    """Adapt either progress style to the engine's ``(spec, cached)`` hook.
+
+    A :class:`ProgressReporter` is bound to the spec list (so it can show
+    ``config c/C, rep r/R`` and an ETA); a legacy ``(config, rep)``
+    callable is wrapped unchanged.
+    """
+    if progress is None:
+        return None
+    if isinstance(progress, ProgressReporter):
+        return progress.bind(specs)
+
+    def hook(spec: RunSpec, cached: bool) -> None:
+        progress(spec.config, spec.rep)
+
+    return hook
+
+
 def run_sweep(
     artifacts: WorkloadArtifacts,
     reps: int = 5,
@@ -96,23 +126,29 @@ def run_sweep(
     master_seed: int | None = None,
     power_model: PowerModel | None = None,
     table: FrequencyTable | None = None,
-    progress: Callable[[str, int], None] | None = None,
+    progress: Callable[[str, int], None] | ProgressReporter | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> SweepResult:
-    """Execute the 85-run study for one workload and compose its oracle."""
+    """Execute the 85-run study for one workload and compose its oracle.
+
+    ``jobs`` fans the runs out over a fleet of worker processes and
+    ``cache`` serves already-computed cells from disk; both leave the
+    result bit-identical to the serial, uncached path.
+    """
     table = table or snapdragon_8074_table()
     power_model = power_model or PowerModel()
     configs = configs if configs is not None else sweep_configs(table)
     if master_seed is None:
         master_seed = artifacts.recording_master_seed
-    runs: dict[str, list[RunResult]] = {}
-    for config in configs:
-        runs[config] = []
-        for rep in range(reps):
-            if progress is not None:
-                progress(config, rep)
-            runs[config].append(
-                replay_run(artifacts, config, rep=rep, master_seed=master_seed)
-            )
+    specs = enumerate_sweep_specs(artifacts.name, configs, reps, master_seed)
+    engine = FleetEngine(
+        jobs=jobs, cache=cache, progress=_progress_hook(progress, specs)
+    )
+    results = engine.run(artifacts, specs)
+    runs: dict[str, list[RunResult]] = {config: [] for config in configs}
+    for spec, result in zip(specs, results):
+        runs[spec.config].append(result)
     oracle = compose_oracle_from_runs(artifacts, runs, table, power_model)
     return SweepResult(
         workload=artifacts.name, runs=runs, oracle=oracle, table=table

@@ -49,6 +49,14 @@ class BusyTimeline:
         for start, end in intervals:
             self._prefix.append(self._prefix[-1] + (end - start))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BusyTimeline):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._starts), tuple(self._ends)))
+
     @property
     def total_busy_us(self) -> int:
         return self._prefix[-1]

@@ -1,0 +1,101 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.fleet.cache import ResultCache, workload_fingerprint
+from repro.fleet.engine import FleetEngine, execute_spec
+from repro.fleet.spec import RunSpec, enumerate_sweep_specs
+
+CONFIGS = ["fixed:300000", "ondemand"]
+
+
+@pytest.fixture(scope="module")
+def specs(artifacts_ds03):
+    return enumerate_sweep_specs(
+        artifacts_ds03.name, CONFIGS, 1, artifacts_ds03.recording_master_seed
+    )
+
+
+def test_store_load_roundtrip(tmp_path, artifacts_ds03, specs):
+    cache = ResultCache(tmp_path)
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    key = cache.key_for(specs[0], fingerprint)
+    assert cache.load(key) is None
+    result = execute_spec(artifacts_ds03, specs[0])
+    cache.store(key, result)
+    assert cache.contains(key)
+    assert cache.load(key) == result
+    assert cache.entry_count() == 1
+
+
+def test_warm_rerun_executes_nothing(tmp_path, artifacts_ds03, specs):
+    cache = ResultCache(tmp_path)
+    engine = FleetEngine(jobs=2, cache=cache)
+    cold = engine.run(artifacts_ds03, specs)
+    assert engine.last_stats.executed == len(specs)
+    assert engine.last_stats.cache_hits == 0
+
+    warm = engine.run(artifacts_ds03, specs)
+    assert engine.last_stats.executed == 0
+    assert engine.last_stats.cache_hits == len(specs)
+    assert warm == cold
+
+
+def test_key_depends_on_spec_identity(tmp_path, artifacts_ds03, specs):
+    cache = ResultCache(tmp_path)
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    base = specs[0]
+    key = cache.key_for(base, fingerprint)
+    reseeded = RunSpec(base.dataset, base.config, base.rep, base.master_seed + 1)
+    assert cache.key_for(reseeded, fingerprint) != key
+    assert cache.key_for(base, "0" * 64) != key
+
+
+def test_key_depends_on_simulator_code(tmp_path, artifacts_ds03, specs, monkeypatch):
+    import repro.fleet.cache as cache_mod
+
+    cache = ResultCache(tmp_path)
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    key = cache.key_for(specs[0], fingerprint)
+    # Editing any repro module changes the code fingerprint, which must
+    # invalidate every cached cell rather than serve stale results.
+    monkeypatch.setattr(cache_mod, "_CODE_FINGERPRINT", "0" * 64)
+    assert cache.key_for(specs[0], fingerprint) != key
+
+
+def test_fingerprint_tracks_artifact_content(artifacts_ds03):
+    from dataclasses import replace
+
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    assert fingerprint == artifacts_ds03.fingerprint()
+    edited = replace(artifacts_ds03, duration_us=artifacts_ds03.duration_us + 1)
+    assert workload_fingerprint(edited) != fingerprint
+    reseeded = replace(artifacts_ds03, recording_master_seed=7)
+    assert workload_fingerprint(reseeded) != fingerprint
+
+
+def test_corrupt_entry_is_a_miss_and_reexecuted(tmp_path, artifacts_ds03, specs):
+    cache = ResultCache(tmp_path)
+    engine = FleetEngine(jobs=1, cache=cache)
+    engine.run(artifacts_ds03, specs[:1])
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    path = cache.path_for(cache.key_for(specs[0], fingerprint))
+    path.write_bytes(b"not a pickle")
+
+    results = engine.run(artifacts_ds03, specs[:1])
+    assert engine.last_stats.executed == 1
+    assert engine.last_stats.cache_hits == 0
+    # The fresh result replaced the corrupt entry.
+    assert cache.load(cache.key_for(specs[0], fingerprint)) == results[0]
+
+
+def test_cache_hits_reported_as_cached_progress(tmp_path, artifacts_ds03, specs):
+    cache = ResultCache(tmp_path)
+    FleetEngine(jobs=1, cache=cache).run(artifacts_ds03, specs)
+    observed = []
+    engine = FleetEngine(
+        jobs=1, cache=cache,
+        progress=lambda spec, cached: observed.append((spec.label(), cached)),
+    )
+    engine.run(artifacts_ds03, specs)
+    assert observed == [(s.label(), True) for s in specs]

@@ -1,0 +1,77 @@
+"""Tests for the fleet engine: parallel equality, ordering, failures."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fleet.engine import FleetEngine, FleetError
+from repro.fleet.spec import RunSpec, enumerate_sweep_specs
+
+# A deliberately small grid: the cheapest and dearest OPP plus a governor.
+SMALL_CONFIGS = ["fixed:300000", "fixed:2150400", "ondemand"]
+
+
+@pytest.fixture(scope="module")
+def small_specs(artifacts_ds03):
+    return enumerate_sweep_specs(
+        artifacts_ds03.name, SMALL_CONFIGS, 2, artifacts_ds03.recording_master_seed
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(artifacts_ds03, small_specs):
+    return FleetEngine(jobs=1).run(artifacts_ds03, small_specs)
+
+
+def test_parallel_results_bit_identical_to_serial(
+    artifacts_ds03, small_specs, serial_results
+):
+    parallel = FleetEngine(jobs=3).run(artifacts_ds03, small_specs)
+    assert parallel == serial_results
+
+
+def test_results_come_back_in_spec_order(small_specs, serial_results):
+    assert [(r.config, r.rep) for r in serial_results] == [
+        (s.config, s.rep) for s in small_specs
+    ]
+
+
+def test_progress_hook_sees_every_spec(artifacts_ds03, small_specs):
+    observed = []
+    engine = FleetEngine(
+        jobs=2, progress=lambda spec, cached: observed.append((spec, cached))
+    )
+    engine.run(artifacts_ds03, small_specs)
+    assert sorted(s.label() for s, _ in observed) == sorted(
+        s.label() for s in small_specs
+    )
+    assert all(not cached for _, cached in observed)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_failure_is_captured_and_raised(artifacts_ds03, small_specs, jobs):
+    bad = RunSpec(artifacts_ds03.name, "warp-drive", 0, 2014)
+    with pytest.raises(FleetError) as excinfo:
+        FleetEngine(jobs=jobs).run(artifacts_ds03, small_specs[:1] + [bad])
+    error = excinfo.value
+    assert len(error.failures) == 1
+    failure = error.failures[0]
+    assert failure.spec == bad
+    assert failure.exc_type == "GovernorError"
+    assert "warp-drive" in failure.message
+    # The worker's traceback travels home for diagnosis.
+    assert "Traceback" in failure.traceback_text
+    assert "warp-drive" in str(error)
+
+
+def test_surviving_specs_still_run_alongside_a_failure(artifacts_ds03, small_specs):
+    bad = RunSpec(artifacts_ds03.name, "warp-drive", 0, 2014)
+    engine = FleetEngine(jobs=2)
+    with pytest.raises(FleetError):
+        engine.run(artifacts_ds03, small_specs[:2] + [bad])
+    assert engine.last_stats.executed == 2
+    assert engine.last_stats.failures == 1
+
+
+def test_zero_workers_rejected():
+    with pytest.raises(ReproError):
+        FleetEngine(jobs=0)

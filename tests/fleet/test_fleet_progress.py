@@ -1,0 +1,50 @@
+"""Tests for aggregated progress/ETA reporting."""
+
+import io
+
+from repro.fleet.progress import ProgressReporter
+from repro.fleet.spec import enumerate_sweep_specs
+
+
+def _reporter():
+    stream = io.StringIO()
+    specs = enumerate_sweep_specs("02", ["a", "b", "c"], 2, 2014)
+    reporter = ProgressReporter("02", stream=stream).bind(specs)
+    return reporter, specs, stream
+
+
+def test_lines_show_positions_and_totals():
+    reporter, specs, stream = _reporter()
+    reporter(specs[0], cached=False)
+    reporter(specs[3], cached=False)
+    lines = stream.getvalue().splitlines()
+    assert "(config 1/3, rep 1/2)" in lines[0]
+    assert "1/6 runs" in lines[0]
+    assert "(config 2/3, rep 2/2)" in lines[1]
+    assert "2/6 runs" in lines[1]
+    assert reporter.done == 2
+
+
+def test_cached_runs_are_marked_and_excluded_from_eta():
+    reporter, specs, stream = _reporter()
+    for spec in specs:
+        reporter(spec, cached=True)
+    lines = stream.getvalue().splitlines()
+    assert all(line.endswith("[cached]") for line in lines)
+    assert all("ETA" not in line for line in lines)
+    assert reporter.cached == len(specs)
+
+
+def test_eta_appears_once_real_runs_complete():
+    reporter, specs, stream = _reporter()
+    reporter(specs[0], cached=False)
+    line = stream.getvalue().splitlines()[0]
+    assert "ETA" in line
+
+
+def test_unbound_reporter_does_not_crash():
+    stream = io.StringIO()
+    reporter = ProgressReporter("02", stream=stream)
+    specs = enumerate_sweep_specs("02", ["a"], 1, 2014)
+    reporter(specs[0], cached=False)
+    assert "1/1 runs" in stream.getvalue()

@@ -1,0 +1,42 @@
+"""Tests for run specs and the sweep-grid enumerator."""
+
+import pickle
+
+from repro.fleet.spec import RunSpec, enumerate_sweep_specs, freeze_tunables
+
+
+def test_enumerator_is_config_major_serial_order():
+    specs = enumerate_sweep_specs("02", ["a", "b"], 3, 2014)
+    assert [(s.config, s.rep) for s in specs] == [
+        ("a", 0), ("a", 1), ("a", 2),
+        ("b", 0), ("b", 1), ("b", 2),
+    ]
+    assert all(s.dataset == "02" and s.master_seed == 2014 for s in specs)
+
+
+def test_spec_is_hashable_and_picklable():
+    spec = RunSpec("02", "ondemand", 1, 2014, (("up_threshold", 80),))
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    assert len({spec, spec}) == 1
+
+
+def test_freeze_tunables_sorts_and_normalises():
+    assert freeze_tunables(None) == ()
+    assert freeze_tunables({}) == ()
+    frozen = freeze_tunables({"b": 2, "a": 1})
+    assert frozen == (("a", 1), ("b", 2))
+    assert freeze_tunables(frozen) == frozen
+
+
+def test_cache_token_is_canonical():
+    one = RunSpec("02", "ondemand", 1, 2014, freeze_tunables({"b": 2, "a": 1}))
+    two = RunSpec("02", "ondemand", 1, 2014, freeze_tunables({"a": 1, "b": 2}))
+    assert one.cache_token() == two.cache_token()
+    # Every identity field must reach the token.
+    assert one.cache_token() != RunSpec("02", "ondemand", 2, 2014).cache_token()
+    assert one.cache_token() != RunSpec("02", "ondemand", 1, 7).cache_token()
+    assert one.cache_token() != RunSpec("03", "ondemand", 1, 2014).cache_token()
+
+
+def test_label_names_the_cell():
+    assert RunSpec("02", "fixed:300000", 4, 2014).label() == "02:fixed:300000:rep4"

@@ -1,0 +1,69 @@
+"""Acceptance tests: the sweep on the fleet engine vs the serial path."""
+
+import pytest
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.progress import ProgressReporter
+from repro.harness.sweep import run_sweep, sweep_configs
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(artifacts_ds03):
+    """The reference: serial, uncached, exactly the seed behaviour."""
+    return run_sweep(artifacts_ds03, reps=1)
+
+
+def test_parallel_sweep_identical_and_warm_rerun_all_cached(
+    artifacts_ds03, serial_sweep, tmp_path_factory
+):
+    cache = ResultCache(tmp_path_factory.mktemp("fleet-cache"))
+    parallel = run_sweep(artifacts_ds03, reps=1, jobs=4, cache=cache)
+    assert parallel.runs == serial_sweep.runs
+    assert parallel.oracle.energy_j == serial_sweep.oracle.energy_j
+    assert cache.hits == 0
+    total = len(sweep_configs())
+
+    rerun = run_sweep(artifacts_ds03, reps=1, jobs=4, cache=cache)
+    assert cache.hits == total  # every completed cell skipped execution
+    assert rerun.runs == serial_sweep.runs
+
+
+def test_legacy_progress_callback_still_works(artifacts_ds03):
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.spec import enumerate_sweep_specs
+    from repro.harness.sweep import _progress_hook
+
+    specs = enumerate_sweep_specs(
+        artifacts_ds03.name,
+        ["fixed:300000", "fixed:652800"],
+        1,
+        artifacts_ds03.recording_master_seed,
+    )
+    calls = []
+    hook = _progress_hook(lambda config, rep: calls.append((config, rep)), specs)
+    FleetEngine(jobs=1, progress=hook).run(artifacts_ds03, specs)
+    assert calls == [("fixed:300000", 0), ("fixed:652800", 0)]
+
+
+def test_progress_reporter_binds_to_the_sweep_grid(artifacts_ds03):
+    import io
+
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.spec import enumerate_sweep_specs
+    from repro.harness.sweep import _progress_hook
+
+    specs = enumerate_sweep_specs(
+        artifacts_ds03.name,
+        ["fixed:300000", "fixed:652800"],
+        1,
+        artifacts_ds03.recording_master_seed,
+    )
+    stream = io.StringIO()
+    reporter = ProgressReporter(artifacts_ds03.name, stream=stream)
+    FleetEngine(jobs=1, progress=_progress_hook(reporter, specs)).run(
+        artifacts_ds03, specs
+    )
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "(config 1/2, rep 1/1)" in lines[0]
+    assert "2/2 runs" in lines[1]

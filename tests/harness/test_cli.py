@@ -33,3 +33,42 @@ def test_parser_defaults():
     args = build_parser().parse_args(["sweep"])
     assert args.dataset == "02"
     assert args.reps == 5
+    assert args.jobs == 1
+    assert args.no_cache is False
+    assert args.master_seed is None
+
+
+def test_parser_fleet_flags():
+    args = build_parser().parse_args(
+        ["study", "--jobs", "8", "--no-cache", "--master-seed", "7",
+         "--cache-dir", "/tmp/x"]
+    )
+    assert args.jobs == 8
+    assert args.no_cache is True
+    assert args.master_seed == 7
+    assert args.cache_dir == "/tmp/x"
+
+
+def test_sweep_parallel_then_warm_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["sweep", "--dataset", "03", "--reps", "1",
+            "--jobs", "2", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache: 0 hits, 17 misses" in out
+
+    # Warm re-run: every completed cell is served from the cache.
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache: 17 hits, 0 misses" in warm
+    # Figures are identical either way.
+    assert warm.split("Fig. 11")[1] == out.split("Fig. 11")[1]
+
+
+def test_sweep_verbose_progress_shows_counts(tmp_path, capsys):
+    argv = ["sweep", "--dataset", "03", "--reps", "1", "--no-cache",
+            "--verbose"]
+    assert main(argv) == 0
+    err = capsys.readouterr().err
+    assert "(config 1/17, rep 1/1)" in err
+    assert "17/17 runs" in err
