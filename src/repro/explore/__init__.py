@@ -1,0 +1,54 @@
+"""Governor design-space exploration.
+
+The paper characterises a *fixed* set of 17 configurations; this package
+turns that study grid into an open-ended search.  A
+:class:`~repro.explore.space.GovernorSpace` declares a governor's
+tunables as an enumerable grid of config strings, a
+:class:`~repro.explore.strategies.SearchStrategy` decides which
+candidates to spend a budget on, the
+:class:`~repro.explore.evaluator.ExploreEvaluator` replays them through
+the fleet engine's content-addressed cache, and
+:mod:`~repro.explore.pareto` reports which candidates are Pareto-optimal
+on the energy-irritation plane, with the oracle as the lower bound.
+"""
+
+from repro.explore.evaluator import CandidateScore, ExploreEvaluator
+from repro.explore.pareto import (
+    dominates,
+    pareto_frontier,
+    render_frontier_report,
+)
+from repro.explore.space import (
+    GovernorSpace,
+    ParamSpec,
+    builtin_space,
+    builtin_space_names,
+)
+from repro.explore.strategies import (
+    GridSearch,
+    HillClimb,
+    RandomSearch,
+    SearchStrategy,
+    SuccessiveHalving,
+    make_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "CandidateScore",
+    "ExploreEvaluator",
+    "GovernorSpace",
+    "GridSearch",
+    "HillClimb",
+    "ParamSpec",
+    "RandomSearch",
+    "SearchStrategy",
+    "SuccessiveHalving",
+    "builtin_space",
+    "builtin_space_names",
+    "dominates",
+    "make_strategy",
+    "pareto_frontier",
+    "render_frontier_report",
+    "strategy_names",
+]

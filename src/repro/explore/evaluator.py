@@ -1,0 +1,160 @@
+"""Batch candidate evaluation on the fleet engine.
+
+The explorer's unit of cost is one *candidate evaluation*: replay the
+workload ``reps`` times under a candidate's config string and score the
+mean against the oracle.  :class:`ExploreEvaluator` lowers candidate
+batches to :class:`~repro.fleet.spec.RunSpec` lists and dispatches them
+through one :class:`~repro.fleet.engine.FleetEngine`, so
+
+* a batch fans out over ``jobs`` worker processes,
+* every (config, rep) cell is content-addressed in the
+  :class:`~repro.fleet.cache.ResultCache` — a candidate revisited by a
+  later strategy iteration (or a warm re-run of the whole exploration)
+  costs nothing, and a successive-halving promotion from 2 to 4 reps
+  only pays for the two new reps,
+* results merge in spec order, so scores are bit-identical for any
+  ``jobs`` value.
+
+The oracle (paper §III-B) is composed once, from the 14 fixed-frequency
+runs dispatched through the same engine and cache that the candidates
+use — an exploration therefore shares cells with any earlier ``sweep``
+of the same dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.frequencies import FrequencyTable, snapdragon_8074_table
+from repro.device.power import PowerModel
+from repro.fleet.cache import ResultCache
+from repro.fleet.engine import FleetEngine, ProgressHook
+from repro.fleet.spec import RunSpec, group_results_by_config
+from repro.governors.config import canonical_config
+from repro.harness.experiment import RunResult, WorkloadArtifacts
+from repro.harness.sweep import compose_oracle_from_runs, fixed_configs
+from repro.metrics.hci import HciModel
+from repro.oracle.builder import OracleResult
+
+#: Default exchange rate for scalarising (energy, irritation) when a
+#: strategy must rank candidates: one second of user irritation costs as
+#: much as 5% of the oracle's whole-workload energy.
+DEFAULT_IRRITATION_WEIGHT = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateScore:
+    """One candidate's position on the paper's energy-irritation plane."""
+
+    config: str
+    reps: int
+    mean_energy_j: float
+    energy_norm: float
+    irritation_s: float
+
+    def point(self) -> tuple[float, float]:
+        """(energy normalised to oracle, irritation seconds) — minimise both."""
+        return (self.energy_norm, self.irritation_s)
+
+    def scalar(
+        self, irritation_weight: float = DEFAULT_IRRITATION_WEIGHT
+    ) -> float:
+        """Weighted single objective for strategies that need a ranking."""
+        return self.energy_norm + irritation_weight * self.irritation_s
+
+
+class ExploreEvaluator:
+    """Score candidate config strings against the dataset's oracle."""
+
+    def __init__(
+        self,
+        artifacts: WorkloadArtifacts,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        master_seed: int | None = None,
+        oracle_reps: int = 1,
+        table: FrequencyTable | None = None,
+        power_model: PowerModel | None = None,
+        hci_model: HciModel | None = None,
+        progress: ProgressHook | None = None,
+    ) -> None:
+        self.artifacts = artifacts
+        self.table = table or snapdragon_8074_table()
+        self.power_model = power_model or PowerModel()
+        self.hci_model = hci_model
+        self.master_seed = (
+            artifacts.recording_master_seed
+            if master_seed is None
+            else master_seed
+        )
+        self.oracle_reps = oracle_reps
+        self._engine = FleetEngine(jobs=jobs, cache=cache, progress=progress)
+        self._scores: dict[tuple[str, int], CandidateScore] = {}
+        self._oracle: OracleResult | None = None
+        self.replays_executed = 0
+        self.cache_hits = 0
+
+    @property
+    def oracle(self) -> OracleResult:
+        """The composed oracle, built on first use from the fixed runs."""
+        if self._oracle is None:
+            configs = fixed_configs(self.table)
+            specs = self._specs(configs, self.oracle_reps)
+            results = self._run(specs)
+            runs = group_results_by_config(specs, results, configs)
+            self._oracle = compose_oracle_from_runs(
+                self.artifacts, runs, self.table, self.power_model
+            )
+        return self._oracle
+
+    def evaluate(
+        self, configs: list[str], reps: int = 1
+    ) -> list[CandidateScore]:
+        """Score a batch of config strings at ``reps`` repetitions each.
+
+        Input order is preserved; duplicate and previously-evaluated
+        candidates are served from the in-memory score memo (and their
+        replays from the result cache before that).
+        """
+        canonical = [canonical_config(config) for config in configs]
+        oracle = self.oracle  # composed before any candidate runs
+        todo: list[str] = []
+        for config in canonical:
+            if (config, reps) not in self._scores and config not in todo:
+                todo.append(config)
+        if todo:
+            specs = self._specs(todo, reps)
+            results = self._run(specs)
+            grouped = group_results_by_config(specs, results, todo)
+            for config in todo:
+                runs = grouped[config]
+                mean_energy = sum(r.dynamic_energy_j for r in runs) / len(runs)
+                irritation = sum(
+                    r.irritation_seconds(self.hci_model) for r in runs
+                ) / len(runs)
+                self._scores[(config, reps)] = CandidateScore(
+                    config=config,
+                    reps=reps,
+                    mean_energy_j=mean_energy,
+                    energy_norm=mean_energy / oracle.energy_j,
+                    irritation_s=irritation,
+                )
+        return [self._scores[(config, reps)] for config in canonical]
+
+    def _specs(self, configs: list[str], reps: int) -> list[RunSpec]:
+        return [
+            RunSpec(
+                dataset=self.artifacts.name,
+                config=config,
+                rep=rep,
+                master_seed=self.master_seed,
+            )
+            for config in configs
+            for rep in range(reps)
+        ]
+
+    def _run(self, specs: list[RunSpec]) -> list[RunResult]:
+        results = self._engine.run(self.artifacts, specs)
+        self.replays_executed += self._engine.last_stats.executed
+        self.cache_hits += self._engine.last_stats.cache_hits
+        return results

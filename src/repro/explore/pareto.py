@@ -1,0 +1,142 @@
+"""Pareto characterisation on the energy-irritation plane.
+
+The paper plots every configuration as a point (energy, irritation) with
+the oracle as the unreachable lower-left bound (Fig. 13).  This module
+computes which explored candidates are Pareto-optimal — no other
+candidate is at least as good on both axes and better on one — and
+renders the frontier as an ASCII report: a ranked table plus a scatter
+of the plane with the frontier and the oracle marked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.explore.evaluator import CandidateScore
+from repro.harness.figures import format_table
+
+PLOT_WIDTH = 64
+PLOT_HEIGHT = 16
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """True when point ``a`` Pareto-dominates ``b`` (minimising both)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def pareto_frontier(scores: Iterable[CandidateScore]) -> list[CandidateScore]:
+    """The non-dominated candidates, sorted by energy then irritation.
+
+    Of several candidates at exactly the same point, the first in
+    ``(point, config)`` order represents the point; the duplicates are
+    dominated by nothing yet add nothing to the frontier.
+    """
+    ordered = sorted(
+        scores, key=lambda s: (s.energy_norm, s.irritation_s, s.config)
+    )
+    frontier: list[CandidateScore] = []
+    seen_points: set[tuple[float, float]] = set()
+    for score in ordered:
+        point = score.point()
+        if point in seen_points:
+            continue
+        if any(dominates(kept.point(), point) for kept in frontier):
+            continue
+        frontier.append(score)
+        seen_points.add(point)
+    return frontier
+
+
+def render_frontier_report(
+    scores: Sequence[CandidateScore],
+    oracle_irritation_s: float,
+    baselines: Sequence[CandidateScore] = (),
+) -> str:
+    """The exploration's result: ranked table + ASCII plane.
+
+    ``scores`` are the explored candidates; ``baselines`` (stock
+    governors at their defaults) are plotted for reference but take no
+    part in the frontier.  The oracle sits at (1.0, its own irritation)
+    by construction.
+    """
+    frontier = pareto_frontier(scores)
+    frontier_configs = {score.config for score in frontier}
+    rows = []
+    for score in sorted(
+        scores, key=lambda s: (s.energy_norm, s.irritation_s, s.config)
+    ):
+        rows.append(
+            [
+                "*" if score.config in frontier_configs else "",
+                score.config,
+                str(score.reps),
+                f"{score.energy_norm:.3f}",
+                f"{score.irritation_s:.2f}",
+            ]
+        )
+    for score in sorted(baselines, key=lambda s: s.config):
+        rows.append(
+            [
+                "b",
+                score.config,
+                str(score.reps),
+                f"{score.energy_norm:.3f}",
+                f"{score.irritation_s:.2f}",
+            ]
+        )
+    rows.append(["@", "oracle", "", "1.000", f"{oracle_irritation_s:.2f}"])
+    table = format_table(
+        ["", "config", "reps", "energy/oracle", "irritation s"], rows
+    )
+    plot = _render_plane(scores, frontier_configs, baselines, oracle_irritation_s)
+    return (
+        f"{len(scores)} candidate(s), {len(frontier)} on the Pareto "
+        "frontier (*; b = stock baseline, @ = oracle)\n"
+        + table
+        + "\n\n"
+        + plot
+    )
+
+
+def _render_plane(
+    scores: Sequence[CandidateScore],
+    frontier_configs: set[str],
+    baselines: Sequence[CandidateScore],
+    oracle_irritation_s: float,
+) -> str:
+    """ASCII scatter: x = energy/oracle, y = irritation seconds."""
+    points = [(s.energy_norm, s.irritation_s, "o") for s in scores]
+    points += [
+        (s.energy_norm, s.irritation_s, "*")
+        for s in scores
+        if s.config in frontier_configs
+    ]
+    points += [(s.energy_norm, s.irritation_s, "b") for s in baselines]
+    points.append((1.0, oracle_irritation_s, "@"))
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * PLOT_WIDTH for _ in range(PLOT_HEIGHT)]
+    # Later markers overwrite earlier ones: frontier over plain candidates,
+    # baselines and the oracle over everything.
+    for x, y, mark in points:
+        col = round((x - x_lo) / x_span * (PLOT_WIDTH - 1))
+        row = round((y - y_lo) / y_span * (PLOT_HEIGHT - 1))
+        grid[PLOT_HEIGHT - 1 - row][col] = mark
+    lines = [
+        f"irritation {y_hi:6.2f} s +" + "".join(grid[0]),
+    ]
+    lines.extend("                    |" + "".join(row) for row in grid[1:-1])
+    lines.append(f"           {y_lo:6.2f} s +" + "".join(grid[-1]))
+    lines.append(
+        "                     "
+        + f"{x_lo:.2f}".ljust(PLOT_WIDTH - 6)
+        + f"{x_hi:.2f}".rjust(6)
+    )
+    lines.append(
+        "                     " + "energy normalised to oracle".center(PLOT_WIDTH)
+    )
+    return "\n".join(lines)

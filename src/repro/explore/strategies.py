@@ -1,0 +1,199 @@
+"""Search strategies over a governor parameter space.
+
+A strategy decides *which* candidates to evaluate and in what order,
+within a budget counted in candidate evaluations; the actual replays are
+the evaluator's business.  All strategies are deterministic functions of
+``(space, budget, rng seed, evaluation results)``: ties break on the
+canonical config string, candidate draws come from the seeded ``rng``,
+and no wall-clock state enters any decision — which is what keeps an
+exploration bit-identical across worker counts.
+
+Strategies ship in four shapes, mirroring how real DVFS tuning proceeds:
+
+* :class:`GridSearch` — exhaustive enumeration, the static-study analogue,
+* :class:`RandomSearch` — seeded uniform sampling, the cheap baseline,
+* :class:`SuccessiveHalving` — evaluate wide at 1 rep, promote the best
+  half to double the repetitions, repeat; the content-addressed cache
+  makes each promotion pay only for its *new* reps,
+* :class:`HillClimb` — local refinement: evaluate a seed candidate's
+  one-step neighbourhood, move to the best improvement, stop at a local
+  optimum or budget exhaustion.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from random import Random
+from typing import Callable
+
+from repro.core.errors import ReproError
+from repro.explore.evaluator import DEFAULT_IRRITATION_WEIGHT, CandidateScore
+from repro.explore.space import Candidate, GovernorSpace
+
+#: ``evaluate(configs, reps)`` — score a batch of config strings.
+Evaluate = Callable[[list[str], int], list[CandidateScore]]
+
+
+class SearchStrategy(ABC):
+    """Base class: a budgeted search over one governor space."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        reps: int = 1,
+        irritation_weight: float = DEFAULT_IRRITATION_WEIGHT,
+    ) -> None:
+        if reps < 1:
+            raise ReproError(f"strategy needs reps >= 1, got {reps}")
+        self.reps = reps
+        self.irritation_weight = irritation_weight
+
+    @abstractmethod
+    def search(
+        self,
+        space: GovernorSpace,
+        evaluate: Evaluate,
+        budget: int,
+        rng: Random,
+    ) -> list[CandidateScore]:
+        """Spend up to ``budget`` candidate evaluations; return the scores.
+
+        The returned list holds one score per distinct candidate (the
+        highest-repetition evaluation where a strategy re-scores), in a
+        deterministic order.
+        """
+
+    def _key(self, score: CandidateScore) -> tuple[float, str]:
+        """Deterministic ranking key: scalarised score, then config."""
+        return (score.scalar(self.irritation_weight), score.config)
+
+    @staticmethod
+    def _check_budget(budget: int) -> None:
+        if budget < 1:
+            raise ReproError(f"search budget must be >= 1, got {budget}")
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive enumeration, truncated to the budget in grid order."""
+
+    name = "grid"
+
+    def search(self, space, evaluate, budget, rng):
+        self._check_budget(budget)
+        configs = [space.config(c) for c in space.grid()]
+        return evaluate(configs[:budget], self.reps)
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling of distinct candidates."""
+
+    name = "random"
+
+    def search(self, space, evaluate, budget, rng):
+        self._check_budget(budget)
+        candidates = space.sample(rng, min(budget, space.size))
+        return evaluate([space.config(c) for c in candidates], self.reps)
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Wide-then-deep: halve the field, double the repetitions.
+
+    Rung 0 evaluates ``~budget/2`` sampled candidates at ``reps``
+    repetitions; each following rung keeps the better half and re-scores
+    it at twice the repetitions.  Because run cells are content-addressed
+    per (config, rep), a rung at 2k reps reuses the k reps already
+    replayed — promotion costs only the new half.
+    """
+
+    name = "halving"
+
+    def search(self, space, evaluate, budget, rng):
+        self._check_budget(budget)
+        initial = max(2, (budget + 1) // 2)
+        candidates = space.sample(rng, min(initial, space.size))
+        configs = [space.config(c) for c in candidates]
+        best: dict[str, CandidateScore] = {}
+        spent = 0
+        reps = self.reps
+        while configs and spent < budget:
+            rung = configs[: budget - spent]
+            scores = evaluate(rung, reps)
+            spent += len(rung)
+            for score in scores:
+                best[score.config] = score
+            if len(rung) <= 1:
+                break
+            ranked = sorted(scores, key=self._key)
+            configs = [s.config for s in ranked[: math.ceil(len(ranked) / 2)]]
+            reps *= 2
+        return sorted(best.values(), key=lambda s: s.config)
+
+
+class HillClimb(SearchStrategy):
+    """Greedy local refinement from a seeded starting candidate.
+
+    Evaluates the current candidate's one-step neighbourhood, moves to
+    the best strictly-improving neighbour, and stops at a local optimum
+    (or when the budget runs out).  Already-evaluated candidates are
+    never re-spent.
+    """
+
+    name = "hillclimb"
+
+    def search(self, space, evaluate, budget, rng):
+        self._check_budget(budget)
+        [start] = space.sample(rng, 1)
+        [current] = evaluate([space.config(start)], self.reps)
+        seen: dict[str, CandidateScore] = {current.config: current}
+        spent = 1
+        cursor = start
+        while spent < budget:
+            fresh = [
+                candidate
+                for candidate in space.neighbours(cursor)
+                if space.config(candidate) not in seen
+            ][: budget - spent]
+            if not fresh:
+                break
+            scores = evaluate([space.config(c) for c in fresh], self.reps)
+            spent += len(fresh)
+            for score in scores:
+                seen[score.config] = score
+            champion = min(scores, key=self._key)
+            if self._key(champion) < self._key(current):
+                current = champion
+                cursor = space.parse(champion.config)
+            else:
+                break
+        return sorted(seen.values(), key=lambda s: s.config)
+
+
+_STRATEGIES: dict[str, type[SearchStrategy]] = {
+    cls.name: cls
+    for cls in (GridSearch, RandomSearch, SuccessiveHalving, HillClimb)
+}
+
+
+def strategy_names() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+_ALIASES = {"exhaustive": "grid"}
+
+
+def make_strategy(
+    name: str,
+    reps: int = 1,
+    irritation_weight: float = DEFAULT_IRRITATION_WEIGHT,
+) -> SearchStrategy:
+    """Instantiate a search strategy by name."""
+    try:
+        cls = _STRATEGIES[_ALIASES.get(name, name)]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise ReproError(
+            f"unknown search strategy {name!r} (known: {known})"
+        ) from None
+    return cls(reps=reps, irritation_weight=irritation_weight)

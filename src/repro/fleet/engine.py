@@ -97,7 +97,7 @@ def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> "RunResult":
 _WORKER_ARTIFACTS: WorkloadArtifacts | None = None
 
 
-def _init_worker(artifacts: WorkloadArtifacts) -> None:
+def _init_worker(artifacts: WorkloadArtifacts | None) -> None:
     global _WORKER_ARTIFACTS
     _WORKER_ARTIFACTS = artifacts
 
@@ -136,6 +136,7 @@ class FleetEngine:
         self.cache = cache
         self.progress = progress
         self.last_stats = FleetStats()
+        self._fingerprinted: tuple[WorkloadArtifacts, str] | None = None
 
     def run(
         self, artifacts: WorkloadArtifacts, specs: list[RunSpec]
@@ -148,7 +149,7 @@ class FleetEngine:
         pending: list[tuple[int, RunSpec]] = []
 
         if self.cache is not None:
-            fingerprint = workload_fingerprint(artifacts)
+            fingerprint = self._fingerprint(artifacts)
             for index, spec in enumerate(specs):
                 key = self.cache.key_for(spec, fingerprint)
                 keys[index] = key
@@ -181,6 +182,18 @@ class FleetEngine:
             raise FleetError(failures)
         return [results[index] for index in range(len(specs))]
 
+    def _fingerprint(self, artifacts: WorkloadArtifacts) -> str:
+        """The artifacts' content hash, computed once per artifacts object.
+
+        Hashing re-pickles the full trace and annotation database;
+        callers that funnel many batches through one engine (the
+        design-space evaluator, multi-rung searches) must not pay that
+        per batch.
+        """
+        if self._fingerprinted is None or self._fingerprinted[0] is not artifacts:
+            self._fingerprinted = (artifacts, workload_fingerprint(artifacts))
+        return self._fingerprinted[1]
+
     def _execute(
         self,
         artifacts: WorkloadArtifacts,
@@ -193,8 +206,13 @@ class FleetEngine:
             # Inline path: identical semantics, no pool overhead.  This is
             # also the reference the parallel path must be bit-identical to.
             _init_worker(artifacts)
-            for item in pending:
-                yield _run_in_worker(item)
+            try:
+                for item in pending:
+                    yield _run_in_worker(item)
+            finally:
+                # Drop the parent-process reference so the trace/database
+                # can be collected once the run is over.
+                _init_worker(None)
             return
         chunksize = max(1, len(pending) // (jobs * 4))
         with multiprocessing.Pool(

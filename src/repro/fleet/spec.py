@@ -65,6 +65,21 @@ class RunSpec:
         )
 
 
+def group_results_by_config(
+    specs: list[RunSpec], results: list, configs: list[str] | None = None
+) -> dict[str, list]:
+    """Fold spec-ordered engine results back into per-config run lists.
+
+    ``configs`` pre-seeds (and orders) the keys; by default the keys
+    appear in first-spec order.  The shared inverse of the flat spec
+    enumeration, used by the sweep and the design-space evaluator.
+    """
+    grouped: dict[str, list] = {config: [] for config in (configs or [])}
+    for spec, result in zip(specs, results):
+        grouped.setdefault(spec.config, []).append(result)
+    return grouped
+
+
 def enumerate_sweep_specs(
     dataset: str,
     configs: list[str],

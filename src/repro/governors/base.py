@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Type
+from typing import Callable, Iterable, Type
 
 from repro.core.engine import Engine
 from repro.core.errors import GovernorError
 from repro.device.cpufreq import CpuFreqPolicy
 from repro.device.input_device import InputSubsystem
 from repro.device.loadtracker import LoadTracker
+from repro.governors.config import parse_config
 
 
 @dataclass(slots=True)
@@ -41,9 +42,46 @@ class Governor(ABC):
     #: sysfs-style governor name, set by subclasses.
     name: str = "abstract"
 
+    #: Config-string parameter aliases: short key -> constructor kwarg.
+    #: Subclasses with tunables override this; it is what makes a governor
+    #: addressable as ``name:key=value,...`` and enumerable by the
+    #: design-space explorer (:mod:`repro.explore.space`).
+    config_params: dict[str, str] = {}
+
+    #: The subset of :attr:`config_params` keys whose values are OPP
+    #: frequencies in kHz.  Off-table values would silently clamp at
+    #: runtime, so pre-flight validation checks these against the table.
+    freq_params: tuple[str, ...] = ()
+
     def __init__(self, context: GovernorContext) -> None:
         self.context = context
         self._active = False
+
+    @classmethod
+    def from_params(
+        cls, context: GovernorContext, params: dict[str, int], **tunables
+    ) -> "Governor":
+        """Construct from parsed config-string parameters.
+
+        ``params`` uses the short keys of :attr:`config_params`;
+        ``tunables`` are direct constructor kwargs (the programmatic API).
+        Constructor validation failures surface as one-line
+        :class:`GovernorError`\\ s so a bad ``--config`` dies cleanly.
+        """
+        check_config_params(cls.name, cls, params)
+        kwargs: dict[str, object] = {
+            cls.config_params[key]: value for key, value in params.items()
+        }
+        overlap = sorted(set(kwargs) & set(tunables))
+        if overlap:
+            raise GovernorError(
+                f"governor {cls.name!r}: {', '.join(overlap)} given both "
+                "as config-string parameter and keyword"
+            )
+        try:
+            return cls(context, **kwargs, **tunables)
+        except (TypeError, ValueError) as exc:
+            raise GovernorError(f"governor {cls.name!r}: {exc}") from exc
 
     @property
     def active(self) -> bool:
@@ -76,6 +114,25 @@ class Governor(ABC):
         """Subclass hook: cancel timers, detach notifiers."""
 
 
+def check_config_params(
+    name: str, factory: Callable[..., "Governor"], params: Iterable[str]
+) -> None:
+    """Reject parameter keys a governor does not declare in config_params.
+
+    ``params`` is any iterable of short keys (a parsed parameter dict
+    works).  The single validator behind ``from_params``,
+    ``parse_sweep_configs`` and ``GovernorSpace`` — one place to keep the
+    error message and the alias contract consistent.
+    """
+    declared = getattr(factory, "config_params", {})
+    for key in params:
+        if key not in declared:
+            known = ", ".join(sorted(declared)) or "none"
+            raise GovernorError(
+                f"governor {name!r} has no tunable {key!r} (known: {known})"
+            )
+
+
 _REGISTRY: dict[str, Callable[..., Governor]] = {}
 
 
@@ -90,19 +147,36 @@ def registered_governors() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def create_governor(name: str, context: GovernorContext, **tunables) -> Governor:
-    """Instantiate a governor by name, passing tunables through.
-
-    ``userspace`` style names like ``fixed:960000`` select the userspace
-    governor pinned at the given frequency.
-    """
-    if name.startswith("fixed:"):
-        khz = int(name.split(":", 1)[1])
-        factory = _REGISTRY["userspace"]
-        return factory(context, fixed_khz=khz, **tunables)
+def governor_factory(name: str) -> Callable[..., Governor]:
+    """The registered factory for ``name``, or a one-line GovernorError."""
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         known = ", ".join(registered_governors())
-        raise GovernorError(f"unknown governor {name!r} (known: {known})") from None
+        raise GovernorError(
+            f"unknown governor {name!r} (known: {known})"
+        ) from None
+
+
+def create_governor(name: str, context: GovernorContext, **tunables) -> Governor:
+    """Instantiate a governor from a config string, passing tunables through.
+
+    ``name`` is any config string :func:`repro.governors.config.parse_config`
+    accepts: a bare governor name, ``fixed:<khz>`` (the userspace governor
+    pinned at a frequency), or a parameterized form such as
+    ``qoe_aware:boost=1_036_800,settle=40000`` whose parameters are routed
+    through the governor's :meth:`Governor.from_params` hook.
+    """
+    base, params = parse_config(name)
+    if base == "fixed":
+        factory = _REGISTRY["userspace"]
+        return factory(context, fixed_khz=params["khz"], **tunables)
+    factory = governor_factory(base)
+    from_params = getattr(factory, "from_params", None)
+    if from_params is not None:
+        return from_params(context, params, **tunables)
+    if params:
+        raise GovernorError(
+            f"governor {base!r} takes no config-string parameters"
+        )
     return factory(context, **tunables)

@@ -27,6 +27,13 @@ class ConservativeGovernor(Governor):
 
     name = "conservative"
 
+    config_params = {
+        "up_threshold": "up_threshold",
+        "down_threshold": "down_threshold",
+        "step": "freq_step_percent",
+        "sampling": "sampling_rate_us",
+    }
+
     def __init__(
         self,
         context: GovernorContext,

@@ -29,6 +29,16 @@ class InteractiveGovernor(Governor):
 
     name = "interactive"
 
+    config_params = {
+        "hispeed": "hispeed_freq_khz",
+        "timer": "timer_rate_us",
+        "go_hispeed": "go_hispeed_load",
+        "target": "target_load",
+        "above_delay": "above_hispeed_delay_us",
+        "min_sample": "min_sample_time_us",
+    }
+    freq_params = ("hispeed",)
+
     def __init__(
         self,
         context: GovernorContext,

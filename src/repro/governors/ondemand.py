@@ -27,6 +27,12 @@ class OndemandGovernor(Governor):
 
     name = "ondemand"
 
+    config_params = {
+        "up_threshold": "up_threshold",
+        "sampling": "sampling_rate_us",
+        "down_factor": "sampling_down_factor",
+    }
+
     def __init__(
         self,
         context: GovernorContext,

@@ -32,6 +32,13 @@ class QoeAwareGovernor(Governor):
 
     name = "qoe_aware"
 
+    config_params = {
+        "boost": "boost_freq_khz",
+        "timer": "timer_rate_us",
+        "settle": "settle_time_us",
+    }
+    freq_params = ("boost",)
+
     def __init__(
         self,
         context: GovernorContext,

@@ -6,30 +6,50 @@ Examples::
     repro-qoe classify --datasets 01 02 03 04 05
     repro-qoe sweep --dataset 02 --reps 5 --jobs 4
     repro-qoe sweep --dataset 02 --reps 5          # warm re-run: all cached
+    repro-qoe sweep --dataset 02 --config qoe_aware:boost=1_036_800,settle=40000
     repro-qoe study --reps 2 --jobs 8              # all datasets, Figs. 12-14
     repro-qoe study --reps 5 --no-cache --master-seed 7
+    repro-qoe explore --dataset 02 --governor qoe_aware \\
+        --strategy random --budget 16 --jobs 4
 
-Sweeps and studies dispatch their runs through the fleet engine
-(:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes, and a
-content-addressed result cache (``--cache-dir``, default
+Sweeps, studies and explorations dispatch their runs through the fleet
+engine (:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes,
+and a content-addressed result cache (``--cache-dir``, default
 ``~/.cache/repro-qoe``; disable with ``--no-cache``) means a re-run only
 executes cells whose inputs changed.  Results are bit-identical to a
-serial, uncached run.
+serial, uncached run; ``explore`` keeps its stdout bit-identical across
+``--jobs`` values by sending timing and cache telemetry to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import random
 import sys
 import time
 from pathlib import Path
 
 from repro.core.errors import ReproError
+from repro.device.frequencies import snapdragon_8074_table
+from repro.explore.evaluator import (
+    DEFAULT_IRRITATION_WEIGHT,
+    ExploreEvaluator,
+)
+from repro.explore.pareto import render_frontier_report
+from repro.explore.space import builtin_space, builtin_space_names
+from repro.explore.strategies import make_strategy, strategy_names
 from repro.fleet.cache import ResultCache
 from repro.fleet.progress import ProgressReporter
+from repro.fleet.spec import RunSpec
 from repro.harness import figures
 from repro.harness.experiment import DEFAULT_MASTER_SEED, record_workload
-from repro.harness.sweep import run_sweep
+from repro.harness.sweep import (
+    GOVERNORS,
+    fixed_configs,
+    parse_sweep_configs,
+    run_sweep,
+)
 from repro.workloads.datasets import dataset, dataset_names
 
 DEFAULT_CACHE_DIR = "~/.cache/repro-qoe"
@@ -89,10 +109,10 @@ def _master_seed(args) -> int:
     return args.master_seed
 
 
-def _print_cache_summary(cache: ResultCache | None) -> None:
+def _print_cache_summary(cache: ResultCache | None, stream=None) -> None:
     if cache is not None:
         print(f"# cache: {cache.hits} hits, {cache.misses} misses "
-              f"({cache.root})")
+              f"({cache.root})", file=stream or sys.stdout)
 
 
 def cmd_table1(_args) -> int:
@@ -110,14 +130,30 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _sweep_configs_from_args(args) -> list[str] | None:
+    """The sweep grid for ``--config``: 14 fixed OPPs + the given strings.
+
+    The fixed configurations stay (the oracle is composed from them);
+    the given config strings replace the three stock governors.
+    """
+    if not args.configs:
+        return None
+    table = snapdragon_8074_table()
+    fixed = fixed_configs(table)
+    extra = parse_sweep_configs(args.configs, table)
+    return fixed + [config for config in extra if config not in fixed]
+
+
 def cmd_sweep(args) -> int:
     t0 = time.time()
     seed = _master_seed(args)
     cache = _cache(args)
+    configs = _sweep_configs_from_args(args)  # validated before recording
     artifacts = record_workload(dataset(args.dataset), master_seed=seed)
     sweep = run_sweep(
         artifacts,
         reps=args.reps,
+        configs=configs,
         master_seed=seed,
         jobs=args.jobs,
         cache=cache,
@@ -171,6 +207,67 @@ def cmd_study(args) -> int:
     return 0
 
 
+def _explore_rng(seed: int, args) -> random.Random:
+    """A seeded RNG whose stream is unique to this exploration's identity."""
+    identity = f"explore:{seed}:{args.dataset}:{args.governor}:{args.strategy}"
+    digest = hashlib.sha256(identity.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _explore_progress(verbose: bool):
+    if not verbose:
+        return None
+
+    def hook(spec: RunSpec, cached: bool) -> None:
+        suffix = " (cached)" if cached else ""
+        print(f"# {spec.label()}{suffix}", file=sys.stderr)
+
+    return hook
+
+
+def cmd_explore(args) -> int:
+    t0 = time.time()
+    seed = _master_seed(args)
+    cache = _cache(args)
+    space = builtin_space(args.governor)  # validated before recording
+    strategy = make_strategy(
+        args.strategy,
+        reps=args.reps,
+        irritation_weight=args.irritation_weight,
+    )
+    artifacts = record_workload(dataset(args.dataset), master_seed=seed)
+    evaluator = ExploreEvaluator(
+        artifacts,
+        jobs=args.jobs,
+        cache=cache,
+        master_seed=seed,
+        oracle_reps=args.reps,
+        progress=_explore_progress(args.verbose),
+    )
+    scores = strategy.search(
+        space, evaluator.evaluate, args.budget, _explore_rng(seed, args)
+    )
+    baselines = []
+    if not args.no_baselines:
+        stock = [g for g in GOVERNORS if g != args.governor]
+        baselines = evaluator.evaluate([args.governor] + stock, args.reps)
+
+    # stdout carries only the deterministic report (bit-identical for any
+    # --jobs and for warm re-runs); telemetry goes to stderr.
+    print(f"# explore dataset {args.dataset}: governor={args.governor} "
+          f"strategy={strategy.name} budget={args.budget} "
+          f"space={space.size} reps={args.reps}")
+    print()
+    print("Pareto frontier vs oracle")
+    oracle_irritation = evaluator.oracle.irritation().total_seconds
+    print(render_frontier_report(scores, oracle_irritation, baselines))
+    print(f"# {evaluator.replays_executed} replay(s) executed, "
+          f"{evaluator.cache_hits} served from cache "
+          f"({time.time() - t0:.1f}s wall)", file=sys.stderr)
+    _print_cache_summary(cache, stream=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-qoe",
@@ -195,6 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="one dataset's 85-run sweep")
     p_sweep.add_argument("--dataset", default="02")
     p_sweep.add_argument("--reps", type=int, default=5)
+    p_sweep.add_argument(
+        "--config", action="append", dest="configs", metavar="CFG",
+        help=(
+            "replace the stock governors with this config string, e.g. "
+            "'qoe_aware:boost=1_036_800,settle=40000' (repeatable; the 14 "
+            "fixed OPPs always run — the oracle is composed from them)"
+        ),
+    )
     p_sweep.add_argument("--verbose", action="store_true")
     _add_fleet_flags(p_sweep)
     _add_seed_flag(p_sweep)
@@ -209,6 +314,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_flags(p_study)
     _add_seed_flag(p_study)
     p_study.set_defaults(func=cmd_study)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="search a governor's parameter space, report the Pareto frontier",
+    )
+    p_explore.add_argument("--dataset", default="02")
+    p_explore.add_argument(
+        "--governor", default="qoe_aware", metavar="GOV",
+        help=f"parameter space to search (known: "
+             f"{', '.join(builtin_space_names())})",
+    )
+    p_explore.add_argument(
+        "--strategy", default="random", metavar="STRAT",
+        help=f"search strategy (known: {', '.join(strategy_names())})",
+    )
+    p_explore.add_argument(
+        "--budget", type=_positive_int, default=16, metavar="N",
+        help="maximum candidate evaluations to spend (default: 16)",
+    )
+    p_explore.add_argument(
+        "--reps", type=_positive_int, default=1, metavar="R",
+        help="repetitions per candidate evaluation (default: 1)",
+    )
+    p_explore.add_argument(
+        "--irritation-weight", type=float,
+        default=DEFAULT_IRRITATION_WEIGHT, metavar="W",
+        help=(
+            "energy-per-irritation-second exchange rate used when a "
+            f"strategy ranks candidates (default: {DEFAULT_IRRITATION_WEIGHT})"
+        ),
+    )
+    p_explore.add_argument(
+        "--no-baselines", action="store_true",
+        help="skip scoring the stock governors for reference",
+    )
+    p_explore.add_argument("--verbose", action="store_true")
+    _add_fleet_flags(p_explore)
+    _add_seed_flag(p_explore)
+    p_explore.set_defaults(func=cmd_explore)
     return parser
 
 

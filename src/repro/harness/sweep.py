@@ -19,10 +19,15 @@ from typing import Callable
 from repro.core.errors import ReproError
 from repro.device.frequencies import FrequencyTable, snapdragon_8074_table
 from repro.device.power import PowerModel
+from repro.governors.config import format_config, parse_config
 from repro.fleet.cache import ResultCache
 from repro.fleet.engine import FleetEngine
 from repro.fleet.progress import ProgressReporter
-from repro.fleet.spec import RunSpec, enumerate_sweep_specs
+from repro.fleet.spec import (
+    RunSpec,
+    enumerate_sweep_specs,
+    group_results_by_config,
+)
 from repro.harness.experiment import RunResult, WorkloadArtifacts
 from repro.metrics.hci import HciModel
 from repro.oracle.builder import OracleResult, build_oracle
@@ -45,11 +50,80 @@ def sweep_configs(table: FrequencyTable | None = None) -> list[str]:
 
 
 def config_label(config: str, table: FrequencyTable | None = None) -> str:
-    """Axis label: '0.96 GHz' for fixed configs, the name otherwise."""
-    if config.startswith("fixed:"):
+    """Axis label: '0.96 GHz' for fixed configs, the canonical name otherwise.
+
+    Malformed strings and out-of-table frequencies raise one-line
+    :class:`ReproError` subclasses instead of bare ``ValueError``.
+    """
+    base, params = parse_config(config)
+    if base == "fixed":
         table = table or snapdragon_8074_table()
-        return table.point(int(config.split(":")[1])).label
-    return config
+        return table.point(params["khz"]).label
+    return format_config(base, params)
+
+
+def _trial_governor_context(table: FrequencyTable):
+    """A throwaway GovernorContext for pre-flight construction checks."""
+    from repro.core.engine import Engine
+    from repro.device.cpu import CpuCore
+    from repro.device.cpufreq import CpuFreqPolicy
+    from repro.device.loadtracker import LoadTracker
+    from repro.governors.base import GovernorContext
+
+    engine = Engine()
+    core = CpuCore(engine.clock, table)
+    return GovernorContext(
+        engine=engine,
+        policy=CpuFreqPolicy(engine.clock, core),
+        load_tracker=LoadTracker(engine.clock, core),
+    )
+
+
+def parse_sweep_configs(
+    configs: list[str], table: FrequencyTable | None = None
+) -> list[str]:
+    """Validate and canonicalise user-supplied config strings.
+
+    Every string must parse, name a registered governor (or ``fixed`` at
+    an in-table OPP), use only parameter keys the governor declares, and
+    carry values the governor accepts: frequency-valued parameters
+    (:attr:`Governor.freq_params`) must be table OPPs — they would
+    silently clamp at runtime otherwise — and each governor config is
+    trial-constructed once so range violations (thresholds, timer
+    periods) fail here.  All failures raise one-line
+    :class:`ReproError`\\ s before any recording or replay starts.
+    Duplicates (after canonicalisation) collapse.
+    """
+    import repro.governors  # noqa: F401  — populate the governor registry
+    from repro.governors.base import create_governor, governor_factory
+
+    table = table or snapdragon_8074_table()
+    trial_context = None
+    out: list[str] = []
+    for config in configs:
+        base, params = parse_config(config)
+        if base == "fixed":
+            khz = params["khz"]
+            if not table.contains(khz):
+                raise ReproError(
+                    f"config {config!r}: {khz} kHz is not an operating "
+                    "point of the table"
+                )
+        else:
+            factory = governor_factory(base)
+            for key in getattr(factory, "freq_params", ()):
+                if key in params and not table.contains(params[key]):
+                    raise ReproError(
+                        f"config {config!r}: {key}={params[key]} is not "
+                        "an operating point of the table"
+                    )
+            if trial_context is None:
+                trial_context = _trial_governor_context(table)
+            create_governor(config, trial_context)
+        canonical = format_config(base, params)
+        if canonical not in out:
+            out.append(canonical)
+    return out
 
 
 @dataclass(slots=True)
@@ -138,7 +212,11 @@ def run_sweep(
     """
     table = table or snapdragon_8074_table()
     power_model = power_model or PowerModel()
-    configs = configs if configs is not None else sweep_configs(table)
+    # Canonicalise up front so every spelling of a configuration shares
+    # one cache cell, one RNG stream and one results key.
+    configs = parse_sweep_configs(
+        configs if configs is not None else sweep_configs(table), table
+    )
     if master_seed is None:
         master_seed = artifacts.recording_master_seed
     specs = enumerate_sweep_specs(artifacts.name, configs, reps, master_seed)
@@ -146,9 +224,7 @@ def run_sweep(
         jobs=jobs, cache=cache, progress=_progress_hook(progress, specs)
     )
     results = engine.run(artifacts, specs)
-    runs: dict[str, list[RunResult]] = {config: [] for config in configs}
-    for spec, result in zip(specs, results):
-        runs[spec.config].append(result)
+    runs = group_results_by_config(specs, results, configs)
     oracle = compose_oracle_from_runs(artifacts, runs, table, power_model)
     return SweepResult(
         workload=artifacts.name, runs=runs, oracle=oracle, table=table

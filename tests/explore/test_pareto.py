@@ -1,0 +1,75 @@
+"""Dominance, frontier extraction and the ASCII report."""
+
+from repro.explore.evaluator import CandidateScore
+from repro.explore.pareto import (
+    dominates,
+    pareto_frontier,
+    render_frontier_report,
+)
+
+
+def score(config: str, energy: float, irritation: float) -> CandidateScore:
+    return CandidateScore(
+        config=config,
+        reps=1,
+        mean_energy_j=energy * 30,
+        energy_norm=energy,
+        irritation_s=irritation,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert dominates((2.0, 1.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 3.0))
+
+
+class TestFrontier:
+    def test_extracts_the_lower_left_hull(self):
+        a = score("a", 0.9, 5.0)
+        b = score("b", 1.0, 1.0)
+        c = score("c", 1.2, 0.1)
+        dominated = score("d", 1.3, 6.0)
+        frontier = pareto_frontier([dominated, c, a, b])
+        assert [s.config for s in frontier] == ["a", "b", "c"]
+
+    def test_duplicate_points_collapse_to_one_representative(self):
+        a = score("a", 1.0, 1.0)
+        twin = score("twin", 1.0, 1.0)
+        frontier = pareto_frontier([twin, a])
+        assert [s.config for s in frontier] == ["a"]
+
+    def test_single_point_is_its_own_frontier(self):
+        only = score("only", 1.1, 0.0)
+        assert pareto_frontier([only]) == [only]
+
+
+class TestReport:
+    def test_report_marks_frontier_baselines_and_oracle(self):
+        scores = [score("a", 0.9, 5.0), score("b", 1.3, 6.0)]
+        baselines = [score("ondemand", 1.4, 1.0)]
+        report = render_frontier_report(scores, 0.25, baselines)
+        lines = report.splitlines()
+        assert "1 on the Pareto frontier" in lines[0]
+        starred = [l for l in lines if l.lstrip().startswith("*")]
+        assert len(starred) == 1 and "a" in starred[0]
+        assert any(l.lstrip().startswith("b ") and "ondemand" in l
+                   for l in lines)
+        assert any("oracle" in l and "1.000" in l for l in lines)
+        assert "energy normalised to oracle" in report
+
+    def test_report_is_deterministic(self):
+        scores = [score("b", 1.1, 2.0), score("a", 0.9, 5.0)]
+        assert render_frontier_report(scores, 0.1) == render_frontier_report(
+            list(reversed(scores)), 0.1
+        )

@@ -99,3 +99,53 @@ def test_cache_hits_reported_as_cached_progress(tmp_path, artifacts_ds03, specs)
     )
     engine.run(artifacts_ds03, specs)
     assert observed == [(s.label(), True) for s in specs]
+
+
+def test_key_incorporates_governor_parameters(tmp_path, artifacts_ds03):
+    """Regression: two parameterizations of one governor must never collide.
+
+    Governor parameters reach a spec two ways — embedded in the config
+    string or as the ``tunables`` field — and both must distinguish the
+    cache cell from the bare governor name.
+    """
+    cache = ResultCache(tmp_path)
+    fingerprint = workload_fingerprint(artifacts_ds03)
+    seed = artifacts_ds03.recording_master_seed
+    bare = RunSpec(artifacts_ds03.name, "qoe_aware", 0, seed)
+    in_string = RunSpec(
+        artifacts_ds03.name, "qoe_aware:boost=1036800,settle=40000", 0, seed
+    )
+    other_string = RunSpec(
+        artifacts_ds03.name, "qoe_aware:boost=1036800,settle=60000", 0, seed
+    )
+    as_tunables = RunSpec(
+        artifacts_ds03.name, "qoe_aware", 0, seed,
+        tunables=(("boost_freq_khz", 1036800),),
+    )
+    keys = [
+        cache.key_for(spec, fingerprint)
+        for spec in (bare, in_string, other_string, as_tunables)
+    ]
+    assert len(set(keys)) == len(keys)
+
+
+def test_differently_spelled_configs_share_a_sweep_cache_cell(
+    tmp_path, artifacts_ds03
+):
+    """The sweep canonicalises spellings, so both hit the same cell."""
+    from repro.harness.sweep import fixed_configs, run_sweep
+
+    cache = ResultCache(tmp_path)
+    canonical = "qoe_aware:boost=1036800,settle=40000"
+    grid = fixed_configs() + ["qoe_aware:settle=40_000,boost=1_036_800"]
+    spelled = run_sweep(artifacts_ds03, reps=1, cache=cache, configs=grid)
+    assert canonical in spelled.runs
+
+    hits_before = cache.hits
+    rerun = run_sweep(
+        artifacts_ds03, reps=1, cache=cache,
+        configs=fixed_configs() + [canonical],
+    )
+    # Every cell — including the re-spelled candidate — was already cached.
+    assert cache.hits - hits_before == len(fixed_configs()) + 1
+    assert rerun.runs[canonical] == spelled.runs[canonical]

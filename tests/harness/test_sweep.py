@@ -89,3 +89,88 @@ def test_normalisation_to_oracle(small_sweep):
     assert ratio == pytest.approx(
         small_sweep.mean_energy_j("fixed:960000") / small_sweep.oracle.energy_j
     )
+
+
+class TestConfigParsing:
+    """Edge cases of config_label / parse_sweep_configs (user input)."""
+
+    def test_parameterized_label_is_canonical(self):
+        assert (
+            config_label("qoe_aware:settle=40_000,boost=1_036_800")
+            == "qoe_aware:boost=1036800,settle=40000"
+        )
+
+    def test_label_rejects_out_of_table_frequency(self):
+        with pytest.raises(ReproError, match="999"):
+            config_label("fixed:999")
+
+    def test_label_rejects_malformed_strings(self):
+        with pytest.raises(ReproError):
+            config_label("fixed:fast")
+        with pytest.raises(ReproError):
+            config_label("qoe_aware:boost")
+
+    def test_parse_sweep_configs_canonicalises_and_dedupes(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        out = parse_sweep_configs(
+            [
+                "qoe_aware:settle=40_000,boost=1_036_800",
+                "qoe_aware:boost=1036800,settle=40000",
+                "fixed:960_000",
+            ]
+        )
+        assert out == [
+            "qoe_aware:boost=1036800,settle=40000",
+            "fixed:960000",
+        ]
+
+    def test_parse_sweep_configs_unknown_governor(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        with pytest.raises(ReproError, match="unknown governor 'warp'"):
+            parse_sweep_configs(["warp:speed=9"])
+
+    def test_parse_sweep_configs_unknown_tunable(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        with pytest.raises(ReproError, match="no tunable 'bogus'"):
+            parse_sweep_configs(["qoe_aware:bogus=1"])
+
+    def test_parse_sweep_configs_malformed_pair(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        with pytest.raises(ReproError, match="key=value"):
+            parse_sweep_configs(["ondemand:up_threshold"])
+
+    def test_parse_sweep_configs_out_of_table_fixed(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        with pytest.raises(ReproError, match="not an operating point"):
+            parse_sweep_configs(["fixed:123456"])
+
+    def test_parse_sweep_configs_out_of_table_frequency_param(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        # Off-table boost/hispeed values would silently clamp at runtime,
+        # mislabelling the study data; they must be rejected pre-flight.
+        with pytest.raises(ReproError, match="boost=103680"):
+            parse_sweep_configs(["qoe_aware:boost=103680"])
+        with pytest.raises(ReproError, match="hispeed=999"):
+            parse_sweep_configs(["interactive:hispeed=999"])
+
+    def test_parse_sweep_configs_rejects_out_of_range_values(self):
+        from repro.harness.sweep import parse_sweep_configs
+
+        with pytest.raises(ReproError, match="up_threshold"):
+            parse_sweep_configs(["ondemand:up_threshold=0"])
+        with pytest.raises(ReproError, match="timer period"):
+            parse_sweep_configs(["qoe_aware:timer=-5"])
+        with pytest.raises(ReproError, match="down_threshold"):
+            parse_sweep_configs(["conservative:up_threshold=10"])
+
+    def test_run_sweep_rejects_bad_config_before_replaying(self, artifacts_ds03):
+        with pytest.raises(ReproError, match="no tunable"):
+            run_sweep(
+                artifacts_ds03, reps=1, configs=["qoe_aware:warp=1"]
+            )
