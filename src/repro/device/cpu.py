@@ -11,6 +11,7 @@ the core is the mechanism, the scheduler the policy.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Callable
 
 from repro.core.errors import SimulationError
 from repro.core.simtime import SimClock
@@ -32,6 +33,7 @@ class CpuCore:
         self._power_model = power_model or PowerModel()
         self._meter = EnergyMeter(self._power_model)
         self._freq_khz = table.min_khz
+        self._volts = table.point(self._freq_khz).volts
         self._busy = False
         self._busy_since: int | None = None
         self._busy_total = 0
@@ -40,6 +42,8 @@ class CpuCore:
         self._transitions = 0
         self._cycles_retired = 0.0
         self._busy_trace: list[tuple[int, int]] | None = None
+        self._busy_listeners: list[Callable[[], None]] = []
+        self._idle_listeners: list[Callable[[], None]] = []
 
     # --- read-side properties -------------------------------------------------
 
@@ -69,11 +73,35 @@ class CpuCore:
         """Total cycles executed so far (updated on state changes)."""
         return self._cycles_retired
 
+    def add_busy_listener(self, listener: Callable[[], None]) -> None:
+        """``listener`` fires on every idle-to-busy transition.
+
+        The governors' idle fast path uses this as its wake signal: a
+        parked sampling timer must resume before the first sample window
+        that could observe non-zero load.
+        """
+        self._busy_listeners.append(listener)
+
+    def remove_busy_listener(self, listener: Callable[[], None]) -> None:
+        self._busy_listeners.remove(listener)
+
+    def add_idle_listener(self, listener: Callable[[], None]) -> None:
+        """``listener`` fires on every busy-to-idle transition.
+
+        Wake signal for the busy-elision fast path: a sampling timer
+        parked during a pinned-at-max busy stretch must resume before the
+        first sample window that could observe load below 100.
+        """
+        self._idle_listeners.append(listener)
+
+    def remove_idle_listener(self, listener: Callable[[], None]) -> None:
+        self._idle_listeners.remove(listener)
+
     def busy_time_total(self) -> int:
         """Cumulative busy microseconds, including the open interval."""
         total = self._busy_total
         if self._busy and self._busy_since is not None:
-            total += self._clock.now - self._busy_since
+            total += self._clock._now - self._busy_since
         return total
 
     def time_in_state(self) -> dict[int, int]:
@@ -132,25 +160,31 @@ class CpuCore:
             raise SimulationError(f"{freq_khz} kHz is not an operating point")
         if freq_khz == self._freq_khz:
             return
-        now = self._clock.now
+        now = self._clock._now
         self._account_open_intervals(now)
         self._time_in_state[self._freq_khz] += now - self._state_since
         self._state_since = now
         self._freq_khz = freq_khz
         self._transitions += 1
-        point = self._table.point(freq_khz)
-        self._meter.set_state(now, self._busy, freq_khz, point.volts)
+        self._volts = self._table.point(freq_khz).volts
+        self._meter.set_state(now, self._busy, freq_khz, self._volts)
 
     def set_busy(self, busy: bool) -> None:
         """Mark the core as executing (True) or idle (False)."""
         if busy == self._busy:
             return
-        now = self._clock.now
+        now = self._clock._now
         self._account_open_intervals(now)
         self._busy = busy
         self._busy_since = now if busy else None
-        point = self._table.point(self._freq_khz)
-        self._meter.set_state(now, busy, self._freq_khz, point.volts)
+        self._meter.set_state(now, busy, self._freq_khz, self._volts)
+        if busy:
+            if self._busy_listeners:
+                for listener in self._busy_listeners:
+                    listener()
+        elif self._idle_listeners:
+            for listener in self._idle_listeners:
+                listener()
 
     def _account_open_intervals(self, now: int) -> None:
         """Close the open busy interval and retire its cycles."""

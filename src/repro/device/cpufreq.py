@@ -8,6 +8,7 @@ profiles (the paper's Fig. 3).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable
 
@@ -41,15 +42,23 @@ class CpuFreqPolicy:
         table = core.table
         self._clock = clock
         self._core = core
+        self._table = table
         self._min_khz = table.ceil(min_khz) if min_khz else table.min_khz
         self._max_khz = table.floor(max_khz) if max_khz else table.max_khz
         if self._min_khz > self._max_khz:
             raise GovernorError(
                 f"policy min {self._min_khz} above max {self._max_khz}"
             )
-        self._transitions: list[FrequencyTransition] = [
-            FrequencyTransition(clock.now, core.frequency_khz)
+        # The trace is stored as plain (timestamp, freq_khz) pairs plus a
+        # parallel timestamp list for bisect: governor-heavy day-long
+        # replays log hundreds of thousands of transitions, and a frozen
+        # dataclass per append would dominate the set_target path.  The
+        # ``transitions`` property materialises FrequencyTransition
+        # objects for read-side callers.
+        self._trans_pairs: list[tuple[int, int]] = [
+            (clock.now, core.frequency_khz)
         ]
+        self._transition_times: list[int] = [clock.now]
         self._observers: list[Callable[[int, int], None]] = []
 
     @property
@@ -66,12 +75,19 @@ class CpuFreqPolicy:
 
     @property
     def current_khz(self) -> int:
-        return self._core.frequency_khz
+        return self._core._freq_khz  # flattened: hot in governor samples
 
     @property
     def transitions(self) -> list[FrequencyTransition]:
         """The frequency trace: every transition with its timestamp."""
-        return list(self._transitions)
+        return [
+            FrequencyTransition(timestamp, freq_khz)
+            for timestamp, freq_khz in self._trans_pairs
+        ]
+
+    def transition_pairs(self) -> list[tuple[int, int]]:
+        """The trace as raw ``(timestamp, freq_khz)`` pairs (no wrappers)."""
+        return list(self._trans_pairs)
 
     def add_transition_observer(
         self, observer: Callable[[int, int], None]
@@ -81,35 +97,52 @@ class CpuFreqPolicy:
 
     def clamp(self, freq_khz: int) -> int:
         """Clamp a raw target into the policy limits."""
-        return max(self._min_khz, min(self._max_khz, freq_khz))
+        if freq_khz < self._min_khz:
+            return self._min_khz
+        if freq_khz > self._max_khz:
+            return self._max_khz
+        return freq_khz
 
     def set_target(self, freq_khz: int, relation: str = RELATION_LOW) -> int:
         """Resolve a target against the OPP table and apply it.
 
         Returns the frequency actually set.
         """
-        table = self._core.table
-        clamped = self.clamp(freq_khz)
+        min_khz = self._min_khz
+        max_khz = self._max_khz
+        clamped = freq_khz
+        if clamped < min_khz:
+            clamped = min_khz
+        elif clamped > max_khz:
+            clamped = max_khz
         if relation == RELATION_LOW:
-            resolved = table.floor(clamped)
+            resolved = self._table.floor(clamped)
         elif relation == RELATION_HIGH:
-            resolved = table.ceil(clamped)
+            resolved = self._table.ceil(clamped)
         else:
             raise GovernorError(f"unknown relation {relation!r}")
-        resolved = self.clamp(resolved)
-        if resolved != self._core.frequency_khz:
-            self._core.set_frequency(resolved)
-            transition = FrequencyTransition(self._clock.now, resolved)
-            self._transitions.append(transition)
+        if resolved < min_khz:
+            resolved = min_khz
+        elif resolved > max_khz:
+            resolved = max_khz
+        core = self._core
+        if resolved != core._freq_khz:
+            core.set_frequency(resolved)
+            timestamp = self._clock._now
+            self._trans_pairs.append((timestamp, resolved))
+            self._transition_times.append(timestamp)
             for observer in self._observers:
-                observer(transition.timestamp, transition.freq_khz)
+                observer(timestamp, resolved)
         return resolved
 
     def frequency_at(self, timestamp: int) -> int:
-        """Frequency in force at ``timestamp`` according to the trace."""
-        result = self._transitions[0].freq_khz
-        for transition in self._transitions:
-            if transition.timestamp > timestamp:
-                break
-            result = transition.freq_khz
-        return result
+        """Frequency in force at ``timestamp`` according to the trace.
+
+        O(log n) bisect over the transition timestamps; callers that walk
+        a whole run (oracle profiles, energy overlays) stay linear overall
+        instead of quadratic in the transition count.
+        """
+        index = bisect_right(self._transition_times, timestamp)
+        if index == 0:
+            return self._trans_pairs[0][1]
+        return self._trans_pairs[index - 1][1]

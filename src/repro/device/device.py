@@ -54,9 +54,8 @@ class Device:
         )
         self.policy = CpuFreqPolicy(self.engine.clock, self.cpu)
         self.scheduler = Scheduler(self.engine, self.cpu)
-        self.policy.add_transition_observer(
-            lambda _ts, _khz: self.scheduler.notify_frequency_change()
-        )
+        # Bound method, not a lambda: one frame less per DVFS transition.
+        self.policy.add_transition_observer(self.scheduler.on_transition)
         self.input_subsystem = InputSubsystem()
         touch_node = self.input_subsystem.register(
             TOUCHSCREEN_PATH, TOUCHSCREEN_NAME

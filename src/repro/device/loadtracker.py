@@ -15,6 +15,8 @@ from repro.device.cpu import CpuCore
 class LoadTracker:
     """Computes load over the window since the previous sample."""
 
+    __slots__ = ("_clock", "_core", "_last_time", "_last_busy")
+
     def __init__(self, clock: SimClock, core: CpuCore) -> None:
         self._clock = clock
         self._core = core
@@ -23,16 +25,36 @@ class LoadTracker:
 
     def sample(self) -> int:
         """Load percentage (0-100) since the last call, then reset."""
-        now = self._clock.now
-        busy = self._core.busy_time_total()
+        now = self._clock._now
+        # Inlined CpuCore.busy_time_total: this runs once per governor
+        # sample window, the single hottest call site in a replay.
+        core = self._core
+        busy = core._busy_total
+        if core._busy and core._busy_since is not None:
+            busy += now - core._busy_since
         window = now - self._last_time
         busy_delta = busy - self._last_busy
         self._last_time = now
         self._last_busy = busy
         if window <= 0:
-            return 100 if self._core.busy else 0
+            return 100 if core._busy else 0
         load = round(100 * busy_delta / window)
         return max(0, min(100, load))
+
+    def fast_forward(self, timestamp: int, busy_total: int | None = None) -> None:
+        """Reset the window as if a sample had run at ``timestamp``.
+
+        Used by the governors' fast path: when a parked sampling timer
+        wakes up, the window must start at the last elided tick — exactly
+        where a real (no-op) sample would have left it.  For the idle
+        variant (no busy time accrued since the previous sample) the
+        default ``busy_total`` is correct; the busy-elision variant passes
+        the busy counter as of ``timestamp`` explicitly.
+        """
+        self._last_time = timestamp
+        if busy_total is None:
+            busy_total = self._core.busy_time_total()
+        self._last_busy = busy_total
 
     def peek_window(self) -> int:
         """Microseconds elapsed since the last sample (without resetting)."""

@@ -8,6 +8,7 @@ there, as its Linux counterpart does via ``input_handler``).
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterable, Type
@@ -34,6 +35,109 @@ class GovernorContext:
     load_tracker: LoadTracker
     input_subsystem: InputSubsystem | None = None
     scheduler: object | None = None
+
+
+def idle_fastpath_enabled() -> bool:
+    """Whether the governors' idle tick-elision fast path is active.
+
+    The fast path parks a governor's sampling timer while every sample is
+    provably a no-op (core idle at the governor's resting frequency) and
+    reconciles counters on wake-up, eliding the per-tick work entirely.
+    It is semantics-preserving — study output (energy, irritation, frame
+    digests) is bit-identical either way; ``REPRO_FASTPATH=0`` disables it
+    for A/B verification and benchmarking.
+    """
+    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+class TickElisionMixin:
+    """Shared parking machinery for sampling governors.
+
+    A governor that keeps a :class:`~repro.kernel.timers.PeriodicTimer`
+    in ``self._timer``, its core in ``self._core``, the fast-path flag in
+    ``self._fastpath`` and (optionally) a load tracker in
+    ``self._load_tracker`` gets the full tick-elision lifecycle from this
+    mixin: park bookkeeping (``self._park_mode``), core busy/idle wake
+    listeners, and exact reconciliation of ``samples_taken`` and the
+    load-tracking window for the elided ticks.
+
+    Park modes: ``"idle"`` (idle at the resting frequency; wake on busy),
+    ``"busy"`` (pinned under full load; wake on idle), ``"hold"`` (a
+    bounded no-op wait with a :meth:`PeriodicTimer.park_until` deadline;
+    wake on busy).  Input notifiers additionally call :meth:`_wake`
+    directly.
+    """
+
+    _park_mode: str | None
+
+    def _elision_init(self) -> None:
+        """Call at construction, after ``self._timer`` exists."""
+        self._park_mode = None
+        self._timer.on_elided = self._credit_elided
+
+    def _elision_attach(self) -> None:
+        """Call from ``_on_start``: register the wake listeners."""
+        if self._fastpath:
+            self._core.add_busy_listener(self._on_core_busy)
+            self._core.add_idle_listener(self._on_core_idle)
+
+    def _elision_detach(self) -> None:
+        """Call from ``_on_stop``: drop park state and listeners."""
+        self._park_mode = None
+        if self._fastpath:
+            try:
+                self._core.remove_busy_listener(self._on_core_busy)
+                self._core.remove_idle_listener(self._on_core_idle)
+            except ValueError:
+                pass
+
+    def _park(self, mode: str, wake_time: int | None = None) -> None:
+        self._park_mode = mode
+        if wake_time is None:
+            self._timer.park()
+        else:
+            self._timer.park_until(wake_time)
+
+    def _on_core_busy(self) -> None:
+        if self._park_mode == "idle" or self._park_mode == "hold":
+            self._wake()
+
+    def _on_core_idle(self) -> None:
+        if self._park_mode == "busy":
+            self._wake()
+
+    def _credit_elided(self, elided: int, last_tick: int) -> None:
+        """A park_until deadline fired: account the elided idle ticks."""
+        self._park_mode = None
+        self._account_elided(elided, last_tick, busy_total=None)
+
+    def _wake(self) -> None:
+        """Resume sampling after tick elision, reconciling the counters."""
+        mode = self._park_mode
+        self._park_mode = None
+        elided, last_tick = self._timer.unpark()
+        if not elided:
+            return
+        if mode == "busy":
+            # Core was continuously busy from the last elided tick to
+            # now, so rewind its counter by the elapsed span.
+            busy_total = self._core.busy_time_total() - (
+                self.context.engine.clock._now - last_tick
+            )
+        else:
+            busy_total = None
+        self._account_elided(elided, last_tick, busy_total)
+
+    def _account_elided(
+        self, elided: int, last_tick: int, busy_total: int | None
+    ) -> None:
+        """Default reconciliation: sample counter + load window.
+
+        Governors without per-tick counters (qoe_aware) override this
+        with a no-op.
+        """
+        self.samples_taken += elided
+        self._load_tracker.fast_forward(last_tick, busy_total)
 
 
 class Governor(ABC):

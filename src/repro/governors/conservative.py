@@ -11,7 +11,13 @@ and also what makes it by far the most irritating governor in the study.
 from __future__ import annotations
 
 from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
-from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.governors.base import (
+    Governor,
+    GovernorContext,
+    TickElisionMixin,
+    idle_fastpath_enabled,
+    register_governor,
+)
 from repro.kernel.timers import PeriodicTimer
 
 # Conservative samples at twice ondemand's period on the study's kernel
@@ -22,7 +28,7 @@ DEFAULT_DOWN_THRESHOLD = 20
 DEFAULT_FREQ_STEP_PERCENT = 5
 
 
-class ConservativeGovernor(Governor):
+class ConservativeGovernor(TickElisionMixin, Governor):
     """Gradual stepping load-threshold governor."""
 
     name = "conservative"
@@ -53,6 +59,11 @@ class ConservativeGovernor(Governor):
         self.freq_step_percent = freq_step_percent
         self._timer = PeriodicTimer(context.engine, sampling_rate_us, self._sample)
         self.samples_taken = 0
+        self._policy = context.policy
+        self._load_tracker = context.load_tracker
+        self._core = context.policy.core
+        self._fastpath = idle_fastpath_enabled()
+        self._elision_init()
 
     @property
     def freq_step_khz(self) -> int:
@@ -62,14 +73,16 @@ class ConservativeGovernor(Governor):
     def _on_start(self) -> None:
         self.context.load_tracker.sample()
         self._timer.start()
+        self._elision_attach()
 
     def _on_stop(self) -> None:
         self._timer.stop()
+        self._elision_detach()
 
     def _sample(self) -> None:
-        load = self.context.load_tracker.sample()
+        load = self._load_tracker.sample()
         self.samples_taken += 1
-        policy = self.policy
+        policy = self._policy
         current = policy.current_khz
         if load > self.up_threshold:
             if current < policy.max_khz:
@@ -80,6 +93,17 @@ class ConservativeGovernor(Governor):
                     max(current - self.freq_step_khz, policy.min_khz),
                     RELATION_LOW,
                 )
+        # Tick-elision fast path: settled at the minimum with an idle core
+        # (load 0, no step down possible) or pinned at the maximum with a
+        # busy core (load 100, no step up possible) — either way every
+        # further sample is a no-op until the core flips state.
+        if self._fastpath:
+            current = policy.current_khz
+            if not self._core.busy:
+                if current == policy.min_khz:
+                    self._park("idle")
+            elif current == policy.max_khz:
+                self._park("busy")
 
 
 register_governor("conservative", ConservativeGovernor)

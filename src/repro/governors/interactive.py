@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from repro.core.events import InputEvent
 from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
-from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.governors.base import (
+    Governor,
+    GovernorContext,
+    TickElisionMixin,
+    idle_fastpath_enabled,
+    register_governor,
+)
 from repro.kernel.timers import PeriodicTimer
 
 DEFAULT_TIMER_RATE_US = 20_000
@@ -24,7 +30,7 @@ DEFAULT_ABOVE_HISPEED_DELAY_US = 20_000
 DEFAULT_MIN_SAMPLE_TIME_US = 80_000
 
 
-class InteractiveGovernor(Governor):
+class InteractiveGovernor(TickElisionMixin, Governor):
     """Android's input-boosting governor."""
 
     name = "interactive"
@@ -72,18 +78,27 @@ class InteractiveGovernor(Governor):
         self._floor_set_at = 0
         self.samples_taken = 0
         self.input_boosts = 0
+        # Hot-path bindings and the idle fast path (tick elision while the
+        # core sits idle at the policy minimum; see Governor base docs).
+        self._policy = context.policy
+        self._load_tracker = context.load_tracker
+        self._core = context.policy.core
+        self._fastpath = idle_fastpath_enabled()
+        self._elision_init()
 
     def _on_start(self) -> None:
         self.context.load_tracker.sample()
         self._floor_freq = self.policy.current_khz
         self._floor_set_at = self.context.engine.now
         self._timer.start()
+        self._elision_attach()
         if self.input_boost and self.context.input_subsystem is not None:
             for node in self.context.input_subsystem.nodes():
                 node.add_observer(self._on_input_event)
 
     def _on_stop(self) -> None:
         self._timer.stop()
+        self._elision_detach()
         if self.input_boost and self.context.input_subsystem is not None:
             for node in self.context.input_subsystem.nodes():
                 try:
@@ -97,7 +112,9 @@ class InteractiveGovernor(Governor):
         """Boost to hispeed on any user input, ignoring the load."""
         if not self._active:
             return
-        policy = self.policy
+        if self._park_mode is not None:
+            self._wake()
+        policy = self._policy
         if policy.current_khz < self.hispeed_freq_khz:
             self.input_boosts += 1
             policy.set_target(self.hispeed_freq_khz, RELATION_HIGH)
@@ -106,10 +123,10 @@ class InteractiveGovernor(Governor):
     # --- sampling loop -----------------------------------------------------------
 
     def _sample(self) -> None:
-        load = self.context.load_tracker.sample()
+        load = self._load_tracker.sample()
         self.samples_taken += 1
-        policy = self.policy
-        now = self.context.engine.now
+        policy = self._policy
+        now = self.context.engine.clock._now
         current = policy.current_khz
 
         if load >= self.go_hispeed_load:
@@ -143,12 +160,42 @@ class InteractiveGovernor(Governor):
                 policy.set_target(new_freq, RELATION_LOW)
                 self._raise_floor(policy.current_khz)
 
+        # Tick-elision fast path.  Two provably-stable states:
+        #  * idle at the policy minimum: every sample reads load 0, chooses
+        #    the minimum, and changes nothing until the core turns busy or
+        #    an input boost raises the frequency (both un-park);
+        #  * busy at the policy maximum: every fully-busy window reads load
+        #    100, re-targets the maximum it is already at, and leaves the
+        #    floor/validation state untouched until the core idles.
+        if self._fastpath and self._hispeed_validate_since is None:
+            current = policy.current_khz
+            if not self._core.busy:
+                if current == policy.min_khz:
+                    self._park("idle")
+                else:
+                    # Idle above the minimum: ramp-down is blocked by the
+                    # floor hold, so every tick strictly inside the hold
+                    # window reads load 0 and does nothing.  Park through
+                    # the hold with a scheduled wake at the first tick
+                    # that may ramp down.
+                    period = self._timer.period_us
+                    wait = (
+                        self._floor_set_at + self.min_sample_time_us - now
+                    )
+                    if wait > 0:
+                        steps = -(-wait // period)
+                        if steps >= 3:  # machinery pays for >= 2 elisions
+                            self._park("hold", now + steps * period)
+            elif current == policy.max_khz:
+                self._park("busy")
+
     def _choose_freq(self, load: int, current_khz: int) -> int:
         """Lowest frequency keeping the load at or under ``target_load``."""
+        policy = self._policy
         if load <= 0:
-            return self.policy.min_khz
+            return policy.min_khz
         target = load * current_khz // self.target_load
-        return self.policy.clamp(self.policy.core.table.ceil(target))
+        return policy.clamp(policy.core.table.ceil(target))
 
     def _raise_floor(self, freq_khz: int) -> None:
         self._floor_freq = freq_khz

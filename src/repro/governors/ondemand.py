@@ -12,7 +12,13 @@ sampling period while pinned at max.  This produces the max/min
 from __future__ import annotations
 
 from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
-from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.governors.base import (
+    Governor,
+    GovernorContext,
+    TickElisionMixin,
+    idle_fastpath_enabled,
+    register_governor,
+)
 from repro.kernel.timers import PeriodicTimer
 
 # Kernel 3.4 ondemand with high-resolution timers: micro sampling and the
@@ -22,7 +28,7 @@ DEFAULT_UP_THRESHOLD = 95
 DEFAULT_SAMPLING_DOWN_FACTOR = 2
 
 
-class OndemandGovernor(Governor):
+class OndemandGovernor(TickElisionMixin, Governor):
     """Linux's default load-threshold governor."""
 
     name = "ondemand"
@@ -51,24 +57,40 @@ class OndemandGovernor(Governor):
         self._timer = PeriodicTimer(context.engine, sampling_rate_us, self._sample)
         self._down_skip = 0
         self.samples_taken = 0
+        self._policy = context.policy
+        self._load_tracker = context.load_tracker
+        self._core = context.policy.core
+        self._fastpath = idle_fastpath_enabled()
+        self._elision_init()
 
     def _on_start(self) -> None:
         # ondemand begins from wherever the previous policy left the core.
         self.context.load_tracker.sample()  # reset the window
         self._down_skip = 0
         self._timer.start()
+        self._elision_attach()
 
     def _on_stop(self) -> None:
         self._timer.stop()
+        self._elision_detach()
 
     def _sample(self) -> None:
-        load = self.context.load_tracker.sample()
+        load = self._load_tracker.sample()
         self.samples_taken += 1
-        policy = self.policy
+        policy = self._policy
         if load > self.up_threshold:
             policy.set_target(policy.max_khz, RELATION_HIGH)
             # While pinned at max, re-evaluate down-scaling less often.
             self._down_skip = self.sampling_down_factor - 1
+            # Busy fast path: pinned at max with a busy core, every
+            # fully-busy window repeats exactly this branch (load 100,
+            # same target, same down_skip) until the core idles.
+            if (
+                self._fastpath
+                and self._core.busy
+                and policy.current_khz == policy.max_khz
+            ):
+                self._park("busy")
             return
         if self._down_skip > 0:
             self._down_skip -= 1
@@ -77,6 +99,15 @@ class OndemandGovernor(Governor):
         # this load under up_threshold, relative to the *current* speed.
         target = load * policy.current_khz // self.up_threshold
         policy.set_target(max(target, policy.min_khz), RELATION_LOW)
+        # Idle fast path: idle at the minimum, every further sample is a
+        # no-op (load 0, target min, nothing to decrement) until the core
+        # turns busy again.
+        if (
+            self._fastpath
+            and policy.current_khz == policy.min_khz
+            and not self._core.busy
+        ):
+            self._park("idle")
 
 
 register_governor("ondemand", OndemandGovernor)

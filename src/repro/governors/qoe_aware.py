@@ -20,14 +20,20 @@ from __future__ import annotations
 
 from repro.core.events import InputEvent
 from repro.device.cpufreq import RELATION_HIGH, RELATION_LOW
-from repro.governors.base import Governor, GovernorContext, register_governor
+from repro.governors.base import (
+    Governor,
+    GovernorContext,
+    TickElisionMixin,
+    idle_fastpath_enabled,
+    register_governor,
+)
 from repro.kernel.timers import PeriodicTimer
 
 DEFAULT_TIMER_RATE_US = 20_000
 DEFAULT_SETTLE_TIME_US = 60_000
 
 
-class QoeAwareGovernor(Governor):
+class QoeAwareGovernor(TickElisionMixin, Governor):
     """Boost on input, hold while servicing, settle at the efficient OPP."""
 
     name = "qoe_aware"
@@ -60,17 +66,23 @@ class QoeAwareGovernor(Governor):
         self._timer = PeriodicTimer(context.engine, timer_rate_us, self._sample)
         self._idle_since: int | None = None
         self.input_boosts = 0
+        self._policy = context.policy
+        self._core = context.policy.core
+        self._fastpath = idle_fastpath_enabled()
+        self._elision_init()
 
     def _on_start(self) -> None:
         self.policy.set_target(self.efficient_khz, RELATION_HIGH)
         self._idle_since = self.context.engine.now
         self._timer.start()
+        self._elision_attach()
         if self.context.input_subsystem is not None:
             for node in self.context.input_subsystem.nodes():
                 node.add_observer(self._on_input_event)
 
     def _on_stop(self) -> None:
         self._timer.stop()
+        self._elision_detach()
         if self.context.input_subsystem is not None:
             for node in self.context.input_subsystem.nodes():
                 try:
@@ -78,9 +90,16 @@ class QoeAwareGovernor(Governor):
                 except ValueError:
                     pass
 
+    def _account_elided(
+        self, elided: int, last_tick: int, busy_total: int | None
+    ) -> None:
+        """No per-tick counters or load tracker: waking is just re-arming."""
+
     def _on_input_event(self, event: InputEvent) -> None:
         if not self._active:
             return
+        if self._park_mode is not None:
+            self._wake()
         self.input_boosts += 1
         self._idle_since = None
         if self.policy.current_khz < self.boost_freq_khz:
@@ -88,19 +107,44 @@ class QoeAwareGovernor(Governor):
 
     def _sample(self) -> None:
         scheduler = self.context.scheduler
-        now = self.context.engine.now
+        now = self.context.engine.clock._now
         busy = bool(getattr(scheduler, "queued_tasks", 0)) or (
             getattr(scheduler, "current_task", None) is not None
         )
         if busy:
             self._idle_since = None
+            # Busy fast path: while work is queued or running, every
+            # sample just re-clears idle_since; the core-idle listener
+            # un-parks before the first idle window.
+            if self._fastpath:
+                self._park("busy")
             return
         if self._idle_since is None:
             self._idle_since = now
+            self._park_through_settle(now)
             return
         if now - self._idle_since >= self.settle_time_us:
-            if self.policy.current_khz != self.efficient_khz:
-                self.policy.set_target(self.efficient_khz, RELATION_LOW)
+            policy = self._policy
+            if policy.current_khz != self.efficient_khz:
+                policy.set_target(self.efficient_khz, RELATION_LOW)
+            # Idle fast path: settled at the efficient OPP with nothing
+            # queued — every further sample is a no-op until new work is
+            # dispatched or an input boost arrives; both un-park.
+            if self._fastpath and policy.current_khz == self.efficient_khz:
+                self._park("idle")
+        else:
+            self._park_through_settle(now)
+
+    def _park_through_settle(self, now: int) -> None:
+        """Elide the wait-for-settle ticks (idle, settle not yet reached)."""
+        if not self._fastpath:
+            return
+        period = self._timer.period_us
+        wait = self._idle_since + self.settle_time_us - now
+        if wait > 0:
+            steps = -(-wait // period)
+            if steps >= 3:  # machinery pays for >= 2 elisions
+                self._park("hold", now + steps * period)
 
 
 register_governor("qoe_aware", QoeAwareGovernor)

@@ -11,6 +11,8 @@ Examples::
     repro-qoe study --reps 5 --no-cache --master-seed 7
     repro-qoe explore --dataset 02 --governor qoe_aware \\
         --strategy random --budget 16 --jobs 4
+    repro-qoe perf --suite micro --check
+    repro-qoe perf --suite all --profile perf.prof
 
 Sweeps, studies and explorations dispatch their runs through the fleet
 engine (:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes,
@@ -268,6 +270,65 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.perf import (
+        append_entry,
+        check_regression,
+        load_baseline,
+        run_suite,
+        write_baseline,
+    )
+    from repro.perf.gate import DEFAULT_TOLERANCE
+    from repro.perf.harness import render_results
+
+    results = run_suite(
+        suite=args.suite,
+        repeats=args.repeats,
+        profile_path=args.profile,
+    )
+    print(render_results(results))
+    if args.profile:
+        print(f"# profile written to {args.profile}", file=sys.stderr)
+    if not args.no_trajectory:
+        entry = append_entry(args.trajectory, results, label=args.label)
+        print(
+            f"# trajectory entry {entry['recorded_at']} appended to "
+            f"{args.trajectory}",
+            file=sys.stderr,
+        )
+    if args.update_baseline:
+        write_baseline(args.baseline, results)
+        print(f"# baseline updated: {args.baseline}", file=sys.stderr)
+        if args.check:
+            print(
+                "# --check skipped: gating against a baseline just written "
+                "from this run is vacuous",
+                file=sys.stderr,
+            )
+        return 0
+    if args.check:
+        from repro.perf.harness import MACRO_BENCHES, MICRO_BENCHES
+
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        failures = check_regression(
+            results,
+            load_baseline(args.baseline),
+            tolerance,
+            known_benchmarks=set(MICRO_BENCHES) | set(MACRO_BENCHES),
+        )
+        if failures:
+            print()
+            print("PERF REGRESSION GATE FAILED")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print()
+        print(f"# perf gate passed (tolerance {tolerance:.2f})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-qoe",
@@ -353,6 +414,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_flags(p_explore)
     _add_seed_flag(p_explore)
     p_explore.set_defaults(func=cmd_explore)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="replay-throughput benchmarks, trajectory and regression gate",
+    )
+    p_perf.add_argument(
+        "--suite", default="micro", metavar="SUITE",
+        help="micro (engine/kernel-only, seconds), study (one study-cell "
+             "macro), macro (study + day-long), all (default: micro)",
+    )
+    p_perf.add_argument(
+        "--repeats", type=_positive_int, default=3, metavar="N",
+        help="best-of-N timing for micro benchmarks (default: 3)",
+    )
+    p_perf.add_argument(
+        "--profile", metavar="PATH",
+        help="also run the suite once under cProfile, dump stats to PATH",
+    )
+    p_perf.add_argument(
+        "--trajectory", default="BENCH_replay.json", metavar="PATH",
+        help="perf trajectory file to append to (default: BENCH_replay.json)",
+    )
+    p_perf.add_argument(
+        "--no-trajectory", action="store_true",
+        help="do not append this run to the trajectory file",
+    )
+    p_perf.add_argument(
+        "--label", default=None, metavar="TEXT",
+        help="label recorded with the trajectory entry",
+    )
+    p_perf.add_argument(
+        "--check", action="store_true",
+        help="enforce the regression gate against the committed baseline",
+    )
+    p_perf.add_argument(
+        "--baseline", default="benchmarks/perf_baseline.json", metavar="PATH",
+        help="baseline file for --check/--update-baseline "
+             "(default: benchmarks/perf_baseline.json)",
+    )
+    p_perf.add_argument(
+        "--tolerance", type=float, default=None, metavar="F",
+        help="gate floor as a fraction of the baseline (default: 0.35)",
+    )
+    p_perf.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run's throughput as the new committed baseline",
+    )
+    p_perf.set_defaults(func=cmd_perf)
     return parser
 
 

@@ -208,13 +208,16 @@ def replay_run(
     rep: int = 0,
     master_seed: int = DEFAULT_MASTER_SEED,
     device_config: DeviceConfig | None = None,
+    on_video=None,
     **governor_tunables,
 ) -> RunResult:
     """Replay a recorded workload under a configuration (part B).
 
     ``config`` is a governor name (``ondemand``, ``conservative``,
     ``interactive``, …) or ``fixed:<khz>`` for one of the 14 operating
-    points.
+    points.  ``on_video``, if given, receives the captured
+    :class:`~repro.capture.video.Video` before matching — the
+    golden-equivalence tests digest the frame journal through it.
     """
     streams = RngStreams(master_seed).fork(
         f"replay:{artifacts.name}:{config}:{rep}"
@@ -232,6 +235,8 @@ def replay_run(
     device.run_for(run_window)
 
     video = card.stop(device.engine.now)
+    if on_video is not None:
+        on_video(video)
     profile = Matcher(artifacts.database).match(video)
     return RunResult(
         workload=artifacts.name,
@@ -241,9 +246,7 @@ def replay_run(
         energy_j=device.cpu.energy_joules(),
         dynamic_energy_j=device.cpu.dynamic_energy_joules(),
         busy_us=device.cpu.busy_time_total(),
-        transitions=[
-            (t.timestamp, t.freq_khz) for t in device.policy.transitions
-        ],
+        transitions=device.policy.transition_pairs(),
         lag_profile=profile,
         busy_timeline=BusyTimeline(device.cpu.busy_trace()),
     )

@@ -9,8 +9,8 @@ which DVFS decisions become interaction lag.
 
 from __future__ import annotations
 
-import math
 from collections import deque
+from math import ceil
 from typing import Callable
 
 from repro.core.engine import PRIORITY_TASK, Engine, ScheduledEvent
@@ -24,6 +24,7 @@ class Scheduler:
 
     def __init__(self, engine: Engine, core: CpuCore) -> None:
         self._engine = engine
+        self._clock = engine.clock
         self._core = core
         self._queues: dict[int, deque[Task]] = {
             PRIORITY_FOREGROUND: deque(),
@@ -72,13 +73,20 @@ class Scheduler:
         """Enqueue a task; may preempt running lower-priority work."""
         if task.done:
             raise SimulationError(f"cannot resubmit completed task {task!r}")
-        task.submitted_at = self._engine.now
+        task.submitted_at = self._clock._now
         self._queues[task.priority].append(task)
         if self._current is None:
             self._dispatch()
         elif task.priority < self._current.priority:
             self._preempt_current()
             self._dispatch()
+
+    def on_transition(self, _timestamp: int, _freq_khz: int) -> None:
+        """Transition-observer adapter for :meth:`notify_frequency_change`."""
+        if self._current is None:
+            return
+        self._charge_current_progress()
+        self._schedule_completion()
 
     def notify_frequency_change(self) -> None:
         """Recompute the running task's completion under the new frequency.
@@ -101,7 +109,7 @@ class Scheduler:
             for listener in self._idle_listeners:
                 listener()
             return
-        now = self._engine.now
+        now = self._clock._now
         self._current = task
         self._current_started = now
         self._current_rate = self._core.cycles_per_micro()
@@ -124,9 +132,11 @@ class Scheduler:
         if task is None:
             return
         rate = self._core.cycles_per_micro()
-        delay = max(1, math.ceil(task.remaining_cycles / rate))
+        delay = ceil(task.remaining_cycles / rate)
+        if delay < 1:
+            delay = 1
         self._completion = self._engine.schedule_at(
-            self._engine.now + delay, self._complete_current, priority=PRIORITY_TASK
+            self._clock._now + delay, self._complete_current, priority=PRIORITY_TASK
         )
 
     def _charge_current_progress(self) -> None:
@@ -134,10 +144,11 @@ class Scheduler:
         task = self._current
         if task is None:
             return
-        elapsed = self._engine.now - self._current_started
+        now = self._clock._now
+        elapsed = now - self._current_started
         retired = elapsed * self._current_rate
         task.remaining_cycles = max(0.0, task.remaining_cycles - retired)
-        self._current_started = self._engine.now
+        self._current_started = now
         self._current_rate = self._core.cycles_per_micro()
 
     def _preempt_current(self) -> None:

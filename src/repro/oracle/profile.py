@@ -6,6 +6,7 @@ governor's transition log into plot-ready series (the paper's Fig. 3).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.core.errors import ReproError
@@ -39,6 +40,9 @@ class FrequencyProfile:
             if segment.duration_us < 0:
                 raise ReproError("profile segment has negative duration")
         self._segments = [s for s in segments if s.duration_us > 0]
+        # Parallel start list: frequency_at/window bisect instead of
+        # scanning, so rendering a transition-heavy trace stays O(n log n).
+        self._starts = [s.start_us for s in self._segments]
 
     @classmethod
     def from_transitions(
@@ -67,8 +71,10 @@ class FrequencyProfile:
         return self._segments[-1].end_us
 
     def frequency_at(self, timestamp: int) -> int:
-        for segment in self._segments:
-            if segment.start_us <= timestamp < segment.end_us:
+        index = bisect_right(self._starts, timestamp) - 1
+        if index >= 0:
+            segment = self._segments[index]
+            if timestamp < segment.end_us:
                 return segment.freq_khz
         if timestamp == self.end_us:
             return self._segments[-1].freq_khz
@@ -77,8 +83,11 @@ class FrequencyProfile:
     def window(self, start_us: int, end_us: int) -> list[ProfileSegment]:
         """Segments clipped to a window (for trace snapshots like Fig. 3)."""
         out = []
-        for segment in self._segments:
-            if segment.end_us <= start_us or segment.start_us >= end_us:
+        first = max(0, bisect_right(self._starts, start_us) - 1)
+        for segment in self._segments[first:]:
+            if segment.start_us >= end_us:
+                break
+            if segment.end_us <= start_us:
                 continue
             out.append(
                 ProfileSegment(

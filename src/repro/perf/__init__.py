@@ -1,0 +1,37 @@
+"""Performance subsystem: benchmarks, trajectory, and regression gate.
+
+The replay simulator is the unit of cost for everything this repository
+does — every sweep, study and design-space exploration bottoms out in
+single-replay throughput.  This package makes that throughput a
+first-class, defended quantity:
+
+* :mod:`repro.perf.workloads` — deterministic micro (engine/kernel-only)
+  and macro (full study-cell replay) benchmark workloads;
+* :mod:`repro.perf.harness` — the runner: best-of-N timing, optional
+  cProfile capture, machine-readable results;
+* :mod:`repro.perf.trajectory` — the ``BENCH_replay.json`` perf
+  trajectory: one appended entry per recorded run;
+* :mod:`repro.perf.gate` — the CI regression gate comparing measured
+  throughput against a committed baseline with a tolerance band.
+
+Run via the CLI: ``repro-qoe perf`` (see ``repro-qoe perf --help``).
+"""
+
+from repro.perf.gate import (
+    check_regression,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.harness import BenchResult, run_suite, suite_names
+from repro.perf.trajectory import append_entry, load_trajectory
+
+__all__ = [
+    "BenchResult",
+    "append_entry",
+    "check_regression",
+    "load_baseline",
+    "load_trajectory",
+    "run_suite",
+    "suite_names",
+    "write_baseline",
+]

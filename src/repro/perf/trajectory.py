@@ -1,0 +1,89 @@
+"""The ``BENCH_replay.json`` performance trajectory.
+
+One JSON document holding an append-only list of entries, one per
+recorded benchmark run.  The trajectory is the repository's perf memory:
+every optimisation PR appends its before/after numbers so a regression
+has a recorded history to be measured against.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "benchmark": "replay-throughput",
+      "entries": [
+        {
+          "recorded_at": "2026-07-26T12:00:00Z",
+          "label": "PR 3 fast path",
+          "python": "3.12.3",
+          "platform": "Linux-...",
+          "results": {"engine_events": {...}, "macro_study": {...}}
+        },
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.perf.harness import BenchResult
+
+SCHEMA_VERSION = 1
+
+
+def _empty_document() -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "replay-throughput",
+        "entries": [],
+    }
+
+
+def load_trajectory(path) -> dict:
+    """Load (or initialise) the trajectory document at ``path``."""
+    path = Path(path)
+    if not path.exists():
+        return _empty_document()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"unreadable trajectory {path}: {exc}") from exc
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ReproError(f"trajectory {path} has no entries list")
+    return document
+
+
+def append_entry(
+    path,
+    results: list[BenchResult],
+    label: str | None = None,
+) -> dict:
+    """Append one entry for ``results`` to the trajectory at ``path``.
+
+    Returns the appended entry.  The file is written atomically enough
+    for a single-writer workflow (write-then-rename is overkill here; the
+    trajectory is a committed artifact, not shared mutable state).
+    """
+    path = Path(path)
+    document = load_trajectory(path)
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "label": label or "",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": {result.name: result.as_dict() for result in results},
+    }
+    document["entries"].append(entry)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return entry

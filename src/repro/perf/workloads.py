@@ -1,0 +1,181 @@
+"""Deterministic benchmark workloads.
+
+Micro workloads exercise one kernel subsystem in isolation (event heap,
+periodic timers, cancellation churn, the scheduler's task path, the
+cpufreq trace queries) so a regression pinpoints its layer.  Macro
+workloads replay full study cells through :func:`repro.harness.experiment.
+replay_run` — the quantity every sweep and exploration ultimately pays.
+
+Every workload is seeded and deterministic: two runs execute the same
+event sequence, so wall-clock differences measure the implementation, not
+the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import PRIORITY_TIMER, Engine
+from repro.core.simtime import seconds
+from repro.device.cpu import CpuCore
+from repro.device.cpufreq import CpuFreqPolicy
+from repro.device.frequencies import snapdragon_8074_table
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.timers import PeriodicTimer
+from repro.kernel.workchains import submit_chunked
+
+# Study cells replayed by the macro benchmarks: the paper's three stock
+# governors, the proposed QoE-aware governor, and one fixed OPP as the
+# userspace-path representative (the remaining 13 fixed cells behave
+# identically perf-wise).
+MACRO_STUDY_CONFIGS: tuple[str, ...] = (
+    "interactive",
+    "ondemand",
+    "conservative",
+    "qoe_aware",
+    "fixed:960000",
+)
+MACRO_STUDY_DATASET = "02"
+
+# The day-long mixed-use workload (long idle periods, the paper's ambient
+# scenario): where governor-tick cost dominates a replay.
+MACRO_DAYLONG_CONFIGS: tuple[str, ...] = ("interactive", "ondemand")
+MACRO_DAYLONG_DATASET = "24hour"
+
+
+def run_engine_events(n_events: int = 200_000, chains: int = 64) -> Engine:
+    """One-shot event storm: ``chains`` self-rescheduling cascades.
+
+    Measures raw schedule/dispatch cost of the heap with a live queue of
+    ``chains`` entries — no cancellations, no periodic re-arms.
+    """
+    engine = Engine()
+    remaining = [n_events]
+
+    def make_chain(index: int) -> Callable[[], None]:
+        delay = 1 + (index * 7 + 3) % 97
+
+        def fire() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule_after(delay, fire)
+
+        return fire
+
+    for index in range(min(chains, n_events)):
+        engine.schedule_after(1 + index, make_chain(index))
+    engine.run_until_idle()
+    return engine
+
+
+def run_engine_periodic(
+    timers: int = 16, sim_us: int = 200_000
+) -> Engine:
+    """Periodic timers with co-prime-ish periods re-armed in place."""
+    engine = Engine()
+    ticks = [0]
+
+    def tick() -> None:
+        ticks[0] += 1
+
+    for index in range(timers):
+        PeriodicTimer(engine, 53 + 13 * index, tick).start()
+    engine.run_until(sim_us)
+    return engine
+
+
+def run_engine_churn(rounds: int = 400, batch: int = 512) -> Engine:
+    """Schedule-then-cancel churn: tombstone compaction under pressure.
+
+    Every round schedules ``batch`` far-future events and cancels 90% of
+    them; a heap without compaction grows linearly with rounds and turns
+    every push into log(total-ever-scheduled) work.
+    """
+    engine = Engine()
+    for _round in range(rounds):
+        base = engine.now + 1_000
+        events = [
+            engine.schedule_at(base + index, _noop) for index in range(batch)
+        ]
+        for event in events[: batch - batch // 10]:
+            event.cancel()
+        engine.run_until(base + batch)
+    return engine
+
+
+def _noop() -> None:
+    return None
+
+
+def run_scheduler_chunks(chains: int = 64, chain_cycles: float = 600e6) -> Engine:
+    """Background chunk chains through the scheduler at a fixed frequency.
+
+    Exercises the task dispatch/completion path, busy accounting and the
+    energy meter — the per-chunk machinery every replay pays thousands of
+    times.
+    """
+    engine = Engine()
+    core = CpuCore(engine.clock, snapdragon_8074_table())
+    scheduler = Scheduler(engine, core)
+    for index in range(chains):
+        engine.schedule_at(
+            1 + index * 97,
+            lambda i=index: submit_chunked(
+                engine, scheduler, f"bench:{i}", chain_cycles
+            ),
+        )
+    engine.run_until_idle()
+    return engine
+
+
+def run_policy_queries(
+    transitions: int = 10_000, queries: int = 10_000
+) -> int:
+    """A transition-heavy frequency trace plus many point queries.
+
+    Guards the bisect fast path in :meth:`CpuFreqPolicy.frequency_at`: a
+    linear scan would make this quadratic in ``transitions``.
+    Returns a checksum of the queried frequencies.
+    """
+    engine = Engine()
+    table = snapdragon_8074_table()
+    core = CpuCore(engine.clock, table)
+    policy = CpuFreqPolicy(engine.clock, core)
+    freqs = table.frequencies_khz
+    step_us = 100
+    for index in range(transitions):
+        engine.clock.advance_to((index + 1) * step_us)
+        policy.set_target(freqs[index % len(freqs)])
+    span = transitions * step_us
+    checksum = 0
+    for index in range(queries):
+        timestamp = (index * 7919) % span
+        checksum = (checksum + policy.frequency_at(timestamp)) % (1 << 61)
+    return checksum
+
+
+def run_governor_sim(
+    governor: str = "interactive", sim_s: int = 120
+) -> Engine:
+    """A governor sampling over synthetic bursty load, device-level only.
+
+    Uses the scheduler and background chunks but no UI stack, apps or
+    capture — the cheapest workload that exercises the governor fast path
+    (tick elision) end to end.
+    """
+    from repro.device.device import Device
+
+    device = Device()
+    device.set_governor(governor)
+    for index in range(sim_s):
+        device.engine.schedule_at(
+            seconds(index) + 1 + (index * 131) % 997,
+            lambda i=index: submit_chunked(
+                device.engine,
+                device.scheduler,
+                f"burst:{i}",
+                80e6 + (i % 7) * 40e6,
+            ),
+        )
+    device.run_for(seconds(sim_s))
+    return device.engine

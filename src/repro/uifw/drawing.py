@@ -67,32 +67,54 @@ class Canvas:
     def _clip(self, rect: Rect) -> Rect:
         return rect.clamped_to(Rect(0, 0, self.width, self.height))
 
+    def _clip_bounds(self, rect: Rect) -> tuple[int, int, int, int]:
+        """Clipped ``(x0, y0, x1, y1)`` as plain ints.
+
+        The draw primitives run once per widget per compose; computing the
+        clip arithmetically avoids two Rect allocations per call that
+        :meth:`_clip` would pay.
+        """
+        x0 = rect.x
+        y0 = rect.y
+        x1 = x0 + rect.w
+        y1 = y0 + rect.h
+        if x0 < 0:
+            x0 = 0
+        if y0 < 0:
+            y0 = 0
+        if x1 > self.width:
+            x1 = self.width
+        if y1 > self.height:
+            y1 = self.height
+        return x0, y0, x1, y1
+
     def fill(self, value: int) -> None:
         self._buffer[:, :] = value
 
     def fill_rect(self, rect: Rect, value: int) -> None:
-        r = self._clip(rect)
-        if r.area:
-            self._buffer[r.y : r.bottom, r.x : r.right] = value
+        x0, y0, x1, y1 = self._clip_bounds(rect)
+        if x1 > x0 and y1 > y0:
+            self._buffer[y0:y1, x0:x1] = value
 
     def frame_rect(self, rect: Rect, value: int) -> None:
         """A 1-px border."""
-        r = self._clip(rect)
-        if not r.area:
+        x0, y0, x1, y1 = self._clip_bounds(rect)
+        if x1 <= x0 or y1 <= y0:
             return
-        self._buffer[r.y, r.x : r.right] = value
-        self._buffer[r.bottom - 1, r.x : r.right] = value
-        self._buffer[r.y : r.bottom, r.x] = value
-        self._buffer[r.y : r.bottom, r.right - 1] = value
+        buffer = self._buffer
+        buffer[y0, x0:x1] = value
+        buffer[y1 - 1, x0:x1] = value
+        buffer[y0:y1, x0] = value
+        buffer[y0:y1, x1 - 1] = value
 
     def blit_texture(self, rect: Rect, key: str) -> None:
         """Draw the deterministic texture for ``key`` into ``rect``."""
-        r = self._clip(rect)
-        if not r.area:
+        x0, y0, x1, y1 = self._clip_bounds(rect)
+        if x1 <= x0 or y1 <= y0:
             return
         block = texture(key, rect.w, rect.h)
-        self._buffer[r.y : r.bottom, r.x : r.right] = block[
-            r.y - rect.y : r.bottom - rect.y, r.x - rect.x : r.right - rect.x
+        self._buffer[y0:y1, x0:x1] = block[
+            y0 - rect.y : y1 - rect.y, x0 - rect.x : x1 - rect.x
         ]
 
     def draw_digits(self, x: int, y: int, text: str, value: int = 255) -> Rect:

@@ -1,0 +1,137 @@
+"""Fast-path behaviour of the event engine.
+
+The scheduling API contract (cancel, priority ordering, insertion order,
+reentrancy guard) is pinned by test_engine.py; these tests cover what the
+fast path added: slotted events, native periodic recurrence, and
+tombstone compaction.
+"""
+
+import pytest
+
+from repro.core.engine import (
+    PRIORITY_INPUT,
+    PRIORITY_TIMER,
+    Engine,
+    ScheduledEvent,
+)
+from repro.core.errors import SimulationError
+
+
+def test_scheduled_event_has_slots_no_dict():
+    event = Engine().schedule_at(10, lambda: None)
+    assert not hasattr(event, "__dict__")
+    with pytest.raises(AttributeError):
+        event.arbitrary_attribute = 1
+
+
+def test_event_ordering_still_comparable():
+    engine = Engine()
+    early = engine.schedule_at(10, lambda: None)
+    late = engine.schedule_at(20, lambda: None)
+    assert early < late
+    tie_a = engine.schedule_at(30, lambda: None, priority=PRIORITY_INPUT)
+    tie_b = engine.schedule_at(30, lambda: None, priority=PRIORITY_TIMER)
+    assert tie_a < tie_b
+
+
+def test_schedule_periodic_fires_on_alignment():
+    engine = Engine()
+    ticks = []
+    engine.schedule_periodic(10, 10, lambda: ticks.append(engine.now))
+    engine.run_until(45)
+    assert ticks == [10, 20, 30, 40]
+
+
+def test_schedule_periodic_single_event_reused():
+    engine = Engine()
+    event = engine.schedule_periodic(5, 5, lambda: None)
+    engine.run_until(50)
+    # The same handle is re-armed in place: queue holds at most one entry.
+    assert engine.pending == 1
+    assert event.time == 55
+
+
+def test_cancel_stops_periodic_recurrence():
+    engine = Engine()
+    ticks = []
+    event = engine.schedule_periodic(10, 10, lambda: ticks.append(engine.now))
+    engine.schedule_at(25, event.cancel)
+    engine.run_until(100)
+    assert ticks == [10, 20]
+
+
+def test_cancel_mid_fire_stops_recurrence():
+    engine = Engine()
+    ticks = []
+    event = None
+
+    def tick():
+        ticks.append(engine.now)
+        if len(ticks) == 3:
+            event.cancel()
+
+    event = engine.schedule_periodic(10, 10, tick)
+    engine.run_until(100)
+    assert ticks == [10, 20, 30]
+
+
+def test_periodic_rejects_nonpositive_period():
+    with pytest.raises(SimulationError):
+        Engine().schedule_periodic(10, 0, lambda: None)
+
+
+def test_tombstone_compaction_bounds_heap():
+    """Cancel churn must not grow the heap past ~2x the live entries."""
+    engine = Engine()
+    for _round in range(100):
+        events = [
+            engine.schedule_at(1_000_000 + i, lambda: None) for i in range(100)
+        ]
+        for event in events:
+            event.cancel()
+    assert len(engine._queue) < 500
+    assert engine.pending == 0
+    # The queue still drains correctly afterwards.
+    fired = []
+    engine.schedule_at(2_000_000, lambda: fired.append(True))
+    engine.run_until_idle()
+    assert fired == [True]
+
+
+def test_compaction_preserves_ordering():
+    engine = Engine()
+    fired = []
+    keep = [engine.schedule_at(10_000 + i, lambda i=i: fired.append(i))
+            for i in range(5)]
+    churn = [engine.schedule_at(50_000 + i, lambda: None) for i in range(300)]
+    for event in churn:
+        event.cancel()
+    assert keep[0] in [entry[3] for entry in engine._queue]
+    engine.run_until_idle()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_firing_priority_visible_during_dispatch():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(10, lambda: seen.append(engine.firing_priority),
+                       priority=PRIORITY_TIMER)
+    assert engine.firing_priority is None
+    engine.run_until(20)
+    assert seen == [PRIORITY_TIMER]
+    assert engine.firing_priority is None
+
+
+def test_reentrancy_guard_still_enforced():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run_until_idle()
+        except SimulationError as error:
+            errors.append(error)
+
+    engine.schedule_at(1, reenter)
+    engine.run_until(10)
+    assert len(errors) == 1

@@ -1,0 +1,136 @@
+"""Golden-equivalence tests for the simulator fast path.
+
+``golden_seed_reference.json`` holds digests recorded from the *seed*
+implementation (pre-fast-path: dataclass heap events, per-expiry timer
+allocation, linear frequency_at, no tick elision).  The fast path must
+reproduce the study output — energy, irritation, frame journal, lag
+profile, transition trace — bit for bit:
+
+* against the committed seed reference,
+* with the tick-elision fast path disabled (``REPRO_FASTPATH=0``),
+* through the fleet engine at any ``--jobs`` count.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.engine import FleetEngine
+from repro.fleet.spec import RunSpec
+from repro.harness.experiment import record_workload, replay_run
+from repro.workloads.datasets import dataset
+
+REFERENCE_PATH = Path(__file__).parent / "golden_seed_reference.json"
+REFERENCE = json.loads(REFERENCE_PATH.read_text(encoding="utf-8"))
+
+GOVERNOR_CELLS = ["interactive", "ondemand", "conservative", "qoe_aware"]
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return record_workload(dataset(REFERENCE["dataset"]))
+
+
+def _transitions_digest(transitions):
+    digest = hashlib.blake2b(digest_size=16)
+    for timestamp, freq_khz in transitions:
+        digest.update(timestamp.to_bytes(8, "big"))
+        digest.update(freq_khz.to_bytes(8, "big"))
+    return digest.hexdigest()
+
+
+def _lag_digest(profile):
+    digest = hashlib.blake2b(digest_size=16)
+    for lag in profile.lags:
+        digest.update(
+            repr(
+                (
+                    lag.lag_index,
+                    lag.gesture_index,
+                    lag.label,
+                    lag.category,
+                    lag.begin_time_us,
+                    lag.end_frame,
+                    lag.duration_us,
+                    lag.threshold_us,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def _frame_digest(video):
+    digest = hashlib.blake2b(digest_size=16)
+    for segment in video.segments():
+        digest.update(segment.start.to_bytes(8, "big"))
+        digest.update(segment.end.to_bytes(8, "big"))
+        digest.update(segment.digest)
+    return digest.hexdigest()
+
+
+def _cell_digests(result, video=None):
+    digests = {
+        "energy_j": repr(result.energy_j),
+        "dynamic_energy_j": repr(result.dynamic_energy_j),
+        "busy_us": result.busy_us,
+        "irritation_s": repr(result.irritation_seconds()),
+        "lag_count": len(result.lag_profile.lags),
+        "transitions_digest": _transitions_digest(result.transitions),
+        "n_transitions": len(result.transitions),
+        "lag_digest": _lag_digest(result.lag_profile),
+    }
+    if video is not None:
+        digests["frame_digest"] = _frame_digest(video)
+    return digests
+
+
+@pytest.mark.parametrize("config", sorted(REFERENCE["cells"]))
+def test_fast_path_matches_seed_reference(artifacts, config):
+    """Every study cell reproduces the seed implementation bit for bit."""
+    captured = {}
+    result = replay_run(
+        artifacts, config, on_video=lambda video: captured.update(v=video)
+    )
+    got = _cell_digests(result, captured["v"])
+    want = REFERENCE["cells"][config]
+    assert got == want
+
+
+def test_tick_elision_off_is_equivalent(artifacts, monkeypatch):
+    """REPRO_FASTPATH=0 (no parking) produces identical study output."""
+    config = "interactive"
+    # Force the fast path ON explicitly so the A/B stays meaningful even
+    # when the whole test run was launched with REPRO_FASTPATH=0.
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast = _cell_digests(replay_run(artifacts, config))
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    slow = _cell_digests(replay_run(artifacts, config))
+    assert fast == slow
+
+
+def test_fleet_jobs_match_direct_replay(artifacts):
+    """FleetEngine at jobs=2 returns the same cells as direct replay."""
+    specs = [
+        RunSpec(
+            dataset=artifacts.name, config=config, rep=0, master_seed=2014
+        )
+        for config in ("interactive", "fixed:960000")
+    ]
+    fleet_results = FleetEngine(jobs=2).run(artifacts, specs)
+    for spec, fleet_result in zip(specs, fleet_results):
+        direct = replay_run(artifacts, spec.config, rep=0, master_seed=2014)
+        assert _cell_digests(fleet_result) == _cell_digests(direct)
+        assert _cell_digests(direct) == {
+            key: value
+            for key, value in REFERENCE["cells"][spec.config].items()
+            if key != "frame_digest"
+        }
+
+
+def test_governor_cells_present_in_reference():
+    """The committed reference covers every governor the study sweeps."""
+    for config in GOVERNOR_CELLS:
+        assert config in REFERENCE["cells"]

@@ -1,0 +1,160 @@
+"""Tests for the perf regression gate and the BENCH_replay.json trajectory."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.perf.gate import (
+    DEFAULT_TOLERANCE,
+    check_regression,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.harness import BenchResult
+from repro.perf.trajectory import append_entry, load_trajectory
+
+
+def result(name, throughput):
+    # events/s-style result: wall 1s, `throughput` events.
+    return BenchResult(name=name, wall_s=1.0, sim_us=0, events=int(throughput))
+
+
+def test_gate_passes_within_tolerance():
+    baseline = {"engine_events": 100_000.0}
+    assert check_regression([result("engine_events", 40_000)], baseline) == []
+
+
+def test_gate_fails_below_tolerance_band():
+    baseline = {"engine_events": 100_000.0}
+    failures = check_regression(
+        [result("engine_events", 30_000)], baseline, tolerance=0.35
+    )
+    assert len(failures) == 1
+    assert "engine_events" in failures[0]
+
+
+def test_gate_reports_missing_benchmark():
+    failures = check_regression([], {"engine_churn": 10_000.0})
+    assert failures and "did not run" in failures[0]
+
+
+def test_gate_tolerates_known_benchmark_not_in_suite():
+    baseline = {"macro_daylong": 10_000.0, "engine_events": 100.0}
+    failures = check_regression(
+        [result("engine_events", 100)],
+        baseline,
+        known_benchmarks={"macro_daylong", "engine_events"},
+    )
+    assert failures == []
+    # A stale (renamed) baseline entry still fails even with known set.
+    failures = check_regression(
+        [result("engine_events", 100)],
+        baseline | {"engine_evnts_old": 5.0},
+        known_benchmarks={"macro_daylong", "engine_events"},
+    )
+    assert len(failures) == 1 and "engine_evnts_old" in failures[0]
+
+
+def test_gate_skips_benchmarks_without_baseline():
+    assert check_regression([result("brand_new", 1.0)], {"other": 10.0}) == [
+        "other: baseline present but benchmark did not run"
+    ]
+
+
+def test_gate_rejects_bad_tolerance():
+    with pytest.raises(ReproError):
+        check_regression([], {}, tolerance=0.0)
+    with pytest.raises(ReproError):
+        check_regression([], {}, tolerance=1.5)
+
+
+def test_default_tolerance_is_wide():
+    assert 0.1 <= DEFAULT_TOLERANCE <= 0.6
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "perf_baseline.json"
+    write_baseline(path, [result("engine_events", 123_456.7)])
+    baseline = load_baseline(path)
+    # The helper floors the throughput to whole events; the round-trip
+    # itself must be lossless.
+    assert baseline == {"engine_events": pytest.approx(123_456.0, abs=0.01)}
+
+
+def test_partial_update_preserves_other_floors(tmp_path):
+    """A micro-only --update-baseline must not delete the macro floors."""
+    path = tmp_path / "perf_baseline.json"
+    write_baseline(
+        path,
+        [result("engine_events", 100.0), result("macro_daylong", 9_999.0)],
+    )
+    write_baseline(path, [result("engine_events", 200.0)])
+    baseline = load_baseline(path)
+    assert baseline["engine_events"] == pytest.approx(200.0)
+    assert baseline["macro_daylong"] == pytest.approx(9_999.0)
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{}", encoding="utf-8")
+    with pytest.raises(ReproError):
+        load_baseline(path)
+    with pytest.raises(ReproError):
+        load_baseline(tmp_path / "missing.json")
+
+
+def test_trajectory_appends_entries(tmp_path):
+    path = tmp_path / "BENCH_replay.json"
+    append_entry(path, [result("engine_events", 10.0)], label="first")
+    append_entry(path, [result("engine_events", 20.0)], label="second")
+    document = load_trajectory(path)
+    assert document["schema"] == 1
+    assert [entry["label"] for entry in document["entries"]] == [
+        "first",
+        "second",
+    ]
+    recorded = document["entries"][-1]["results"]["engine_events"]
+    assert recorded["events_per_s"] == pytest.approx(20.0)
+    # Entries carry provenance for cross-machine comparisons.
+    assert document["entries"][0]["python"]
+    assert document["entries"][0]["recorded_at"].endswith("Z")
+
+
+def test_trajectory_rejects_malformed_file(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("[1, 2, 3]", encoding="utf-8")
+    with pytest.raises(ReproError):
+        load_trajectory(path)
+
+
+def test_committed_trajectory_and_baseline_are_valid():
+    """The files committed at the repo root must parse and stay coherent."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    document = load_trajectory(root / "BENCH_replay.json")
+    assert document["entries"], "BENCH_replay.json must record the trajectory"
+    baseline = load_baseline(root / "benchmarks" / "perf_baseline.json")
+    assert "engine_events" in baseline
+    assert "macro_study" in baseline
+    # The recorded fast-path entry must beat the seed entry by the
+    # tentpole's headline factor on the macro replay benchmarks.
+    macro_entries = [
+        entry
+        for entry in document["entries"]
+        if "macro_study" in entry["results"]
+        and "macro_daylong" in entry["results"]
+    ]
+    assert len(macro_entries) >= 2, "need seed + fast-path macro entries"
+    seed = macro_entries[0]["results"]
+    current = macro_entries[-1]["results"]
+    seed_thr = (
+        seed["macro_study"]["sim_us"] + seed["macro_daylong"]["sim_us"]
+    ) / (seed["macro_study"]["wall_s"] + seed["macro_daylong"]["wall_s"])
+    current_thr = (
+        current["macro_study"]["sim_us"] + current["macro_daylong"]["sim_us"]
+    ) / (
+        current["macro_study"]["wall_s"] + current["macro_daylong"]["wall_s"]
+    )
+    assert current_thr >= 3.0 * seed_thr

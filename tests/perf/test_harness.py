@@ -1,0 +1,98 @@
+"""Tests for the perf harness: workloads are deterministic, results sane."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.perf import workloads
+from repro.perf.harness import (
+    MACRO_BENCHES,
+    MICRO_BENCHES,
+    BenchResult,
+    render_results,
+    run_suite,
+    suite_names,
+)
+
+
+def test_engine_events_is_deterministic():
+    first = workloads.run_engine_events(n_events=5_000)
+    second = workloads.run_engine_events(n_events=5_000)
+    # In-flight chain events still fire after the quota is reached, so the
+    # count may exceed n_events by up to the chain count — but every run
+    # executes the identical event sequence.
+    assert first.events_fired == second.events_fired
+    assert first.events_fired >= 5_000
+    assert first.now == second.now
+
+
+def test_engine_periodic_fires_expected_count():
+    engine = workloads.run_engine_periodic(timers=4, sim_us=10_000)
+    expected = sum(10_000 // (53 + 13 * index) for index in range(4))
+    assert engine.events_fired == expected
+
+
+def test_engine_churn_completes_with_bounded_heap():
+    engine = workloads.run_engine_churn(rounds=20, batch=128)
+    assert len(engine._queue) < 2 * 128 + 64
+
+
+def test_scheduler_chunks_runs_all_chains():
+    engine = workloads.run_scheduler_chunks(chains=4, chain_cycles=60e6)
+    assert engine.events_fired > 0
+    assert engine.pending == 0
+
+
+def test_policy_queries_checksum_stable():
+    assert workloads.run_policy_queries(
+        transitions=500, queries=500
+    ) == workloads.run_policy_queries(transitions=500, queries=500)
+
+
+def test_governor_sim_deterministic_events():
+    first = workloads.run_governor_sim(sim_s=5)
+    second = workloads.run_governor_sim(sim_s=5)
+    assert first.events_fired == second.events_fired
+
+
+def test_run_suite_micro_produces_all_results(tmp_path):
+    results = run_suite("micro", repeats=1)
+    assert [result.name for result in results] == list(MICRO_BENCHES)
+    for result in results:
+        assert result.wall_s > 0
+        assert result.throughput() > 0
+
+
+def test_run_suite_rejects_unknown_suite():
+    with pytest.raises(ReproError):
+        run_suite("warp-speed")
+
+
+def test_suite_names_cover_micro_and_macro():
+    names = suite_names()
+    assert "micro" in names and "macro" in names and "all" in names
+    assert set(MACRO_BENCHES) == {"macro_study", "macro_daylong"}
+
+
+def test_render_results_is_tabular():
+    results = [
+        BenchResult(name="engine_events", wall_s=0.5, sim_us=1_000_000,
+                    events=10_000),
+        BenchResult(name="macro_study", wall_s=1.0, sim_us=2_000_000,
+                    events=0, metrics={"interactive": 2_000_000.0}),
+    ]
+    text = render_results(results)
+    lines = text.splitlines()
+    assert lines[0].startswith("benchmark")
+    assert any("engine_events" in line for line in lines)
+    assert any("interactive" in line for line in lines)
+
+
+def test_profile_hook_writes_stats(tmp_path):
+    profile_path = tmp_path / "perf.prof"
+    run_suite("micro", repeats=1, profile_path=str(profile_path))
+    assert profile_path.exists() and profile_path.stat().st_size > 0
+
+    import pstats
+
+    stats = pstats.Stats(str(profile_path))
+    assert stats.total_calls > 0
