@@ -46,6 +46,17 @@ class Touchscreen:
     def node(self) -> InputDeviceNode:
         return self._node
 
+    @property
+    def contact_active(self) -> bool:
+        """Whether a finger is currently down (a gesture is in flight).
+
+        A tap's interaction only opens once the finger lifts, so a
+        session deadline can land between down and up; the recording
+        harness uses this to keep waiting instead of cutting the video
+        before the interaction has even begun.
+        """
+        return self._contact_active
+
     def schedule_tap(self, at: int, point: Point, hold_us: int = TAP_HOLD_US) -> int:
         """Schedule a tap gesture starting at time ``at``.
 

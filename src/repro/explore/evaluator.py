@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.device.frequencies import FrequencyTable, snapdragon_8074_table
+from repro.device.frequencies import FrequencyTable
 from repro.device.power import PowerModel
 from repro.fleet.cache import ResultCache
 from repro.fleet.engine import FleetEngine, ProgressHook
@@ -78,9 +78,11 @@ class ExploreEvaluator:
         hci_model: HciModel | None = None,
         progress: ProgressHook | None = None,
     ) -> None:
+        from repro.scenarios.profiles import frequency_table_for, power_model_for
+
         self.artifacts = artifacts
-        self.table = table or snapdragon_8074_table()
-        self.power_model = power_model or PowerModel()
+        self.table = table or frequency_table_for(artifacts.spec)
+        self.power_model = power_model or power_model_for(artifacts.spec)
         self.hci_model = hci_model
         self.master_seed = (
             artifacts.recording_master_seed

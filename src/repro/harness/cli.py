@@ -7,12 +7,22 @@ Examples::
     repro-qoe sweep --dataset 02 --reps 5 --jobs 4
     repro-qoe sweep --dataset 02 --reps 5          # warm re-run: all cached
     repro-qoe sweep --dataset 02 --config qoe_aware:boost=1_036_800,settle=40000
+    repro-qoe sweep --scenario persona=gamer,seed=7,duration=2m
     repro-qoe study --reps 2 --jobs 8              # all datasets, Figs. 12-14
     repro-qoe study --reps 5 --no-cache --master-seed 7
+    repro-qoe study --scenario persona=reader,seed=1,duration=2m --reps 1
     repro-qoe explore --dataset 02 --governor qoe_aware \\
         --strategy random --budget 16 --jobs 4
+    repro-qoe explore --scenario persona=mixed,seed=3,duration=2m --budget 8
     repro-qoe perf --suite micro --check
     repro-qoe perf --suite all --profile perf.prof
+    repro-qoe perf --suite study --scenario persona=creator,seed=2,duration=2m
+
+Synthesized scenarios (persona/seed/duration/device-profile config
+strings, see the README's Scenarios section) are interchangeable with
+named datasets: ``--scenario`` canonicalises the spec, and the
+canonical string is the dataset name everywhere downstream — figures,
+fleet cache keys, saved artifacts.
 
 Sweeps, studies and explorations dispatch their runs through the fleet
 engine (:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes,
@@ -33,7 +43,6 @@ import time
 from pathlib import Path
 
 from repro.core.errors import ReproError
-from repro.device.frequencies import snapdragon_8074_table
 from repro.explore.evaluator import (
     DEFAULT_IRRITATION_WEIGHT,
     ExploreEvaluator,
@@ -111,6 +120,26 @@ def _master_seed(args) -> int:
     return args.master_seed
 
 
+def _add_scenario_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help=(
+            "synthesize the workload from a scenario spec, e.g. "
+            "'persona=gamer,seed=7,duration=2m,profile=quad_ls' "
+            "(overrides --dataset)"
+        ),
+    )
+
+
+def _workload_name(args) -> str:
+    """The workload to run: a canonicalised --scenario, else --dataset."""
+    from repro.scenarios.config import canonical_scenario
+
+    if getattr(args, "scenario", None):
+        return canonical_scenario(args.scenario)
+    return args.dataset
+
+
 def _print_cache_summary(cache: ResultCache | None, stream=None) -> None:
     if cache is not None:
         print(f"# cache: {cache.hits} hits, {cache.misses} misses "
@@ -132,39 +161,46 @@ def cmd_classify(args) -> int:
     return 0
 
 
-def _sweep_configs_from_args(args) -> list[str] | None:
-    """The sweep grid for ``--config``: 14 fixed OPPs + the given strings.
+def _sweep_configs_from_args(args, table) -> list[str] | None:
+    """The sweep grid for ``--config``: the fixed OPPs + the given strings.
 
     The fixed configurations stay (the oracle is composed from them);
     the given config strings replace the three stock governors.
     """
     if not args.configs:
         return None
-    table = snapdragon_8074_table()
     fixed = fixed_configs(table)
     extra = parse_sweep_configs(args.configs, table)
     return fixed + [config for config in extra if config not in fixed]
 
 
 def cmd_sweep(args) -> int:
+    from repro.scenarios.profiles import frequency_table_for
+
     t0 = time.time()
     seed = _master_seed(args)
     cache = _cache(args)
-    configs = _sweep_configs_from_args(args)  # validated before recording
-    artifacts = record_workload(dataset(args.dataset), master_seed=seed)
+    spec = dataset(_workload_name(args))  # validated before recording
+    table = frequency_table_for(spec)
+    configs = _sweep_configs_from_args(args, table)
+    artifacts = record_workload(spec, master_seed=seed)
     sweep = run_sweep(
         artifacts,
         reps=args.reps,
         configs=configs,
         master_seed=seed,
+        table=table,
         jobs=args.jobs,
         cache=cache,
-        progress=_progress(args.dataset, args.verbose),
+        progress=_progress(artifacts.name, args.verbose),
     )
-    print(f"# dataset {args.dataset}: {artifacts.input_count} inputs, "
-          f"{artifacts.database.lag_count} lags "
-          f"({time.time() - t0:.1f}s wall)")
-    _print_cache_summary(cache)
+    # stdout carries only the deterministic report (bit-identical for any
+    # --jobs value and for warm re-runs); timing and cache telemetry go
+    # to stderr.
+    print(f"# dataset {artifacts.name}: {artifacts.input_count} inputs, "
+          f"{artifacts.database.lag_count} lags")
+    print(f"# {time.time() - t0:.1f}s wall", file=sys.stderr)
+    _print_cache_summary(cache, stream=sys.stderr)
     print()
     print("Fig. 11 — lag duration distributions")
     print(figures.render_fig11(sweep))
@@ -178,11 +214,16 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_study(args) -> int:
+    from repro.scenarios.config import canonical_scenario
+
     seed = _master_seed(args)
     cache = _cache(args)
+    names = list(args.datasets)
+    if args.scenarios:
+        names.extend(canonical_scenario(s) for s in args.scenarios)
     sweeps = {}
     artifacts_list = []
-    for name in args.datasets:
+    for name in names:
         artifacts = record_workload(dataset(name), master_seed=seed)
         artifacts_list.append(artifacts)
         sweeps[name] = run_sweep(
@@ -203,9 +244,9 @@ def cmd_study(args) -> int:
     print("Headline savings")
     for key, value in savings.items():
         print(f"  {key}: {100 * value:.0f}%")
-    if cache is not None:
-        print()
-        _print_cache_summary(cache)
+    # Telemetry on stderr: study stdout stays bit-identical across
+    # --jobs values and warm re-runs, like sweep and explore.
+    _print_cache_summary(cache, stream=sys.stderr)
     return 0
 
 
@@ -231,6 +272,7 @@ def cmd_explore(args) -> int:
     t0 = time.time()
     seed = _master_seed(args)
     cache = _cache(args)
+    args.dataset = _workload_name(args)  # canonicalised before recording
     space = builtin_space(args.governor)  # validated before recording
     strategy = make_strategy(
         args.strategy,
@@ -281,14 +323,41 @@ def cmd_perf(args) -> int:
     from repro.perf.gate import DEFAULT_TOLERANCE
     from repro.perf.harness import render_results
 
+    scenario = None
+    if args.scenario:
+        from repro.perf.harness import SUITES
+        from repro.scenarios.config import canonical_scenario
+
+        scenario = canonical_scenario(args.scenario)
+        if "macro_study" not in SUITES.get(args.suite, ()):
+            raise ReproError(
+                f"--scenario only applies to suites that run the "
+                f"study-cell macro benchmark (study, macro, all), not "
+                f"{args.suite!r}"
+            )
+        if args.update_baseline:
+            raise ReproError(
+                "--update-baseline measures the stock macro workloads; "
+                "it cannot be written from a --scenario run"
+            )
     results = run_suite(
         suite=args.suite,
         repeats=args.repeats,
         profile_path=args.profile,
+        scenario=scenario,
     )
     print(render_results(results))
     if args.profile:
         print(f"# profile written to {args.profile}", file=sys.stderr)
+    if scenario is not None and not args.no_trajectory:
+        # Scenario throughput is not comparable with the stock macro
+        # entries the trajectory tracks; never mix them.
+        args.no_trajectory = True
+        print(
+            "# trajectory append skipped: scenario runs are diagnostics, "
+            "not stock trajectory points",
+            file=sys.stderr,
+        )
     if not args.no_trajectory:
         entry = append_entry(args.trajectory, results, label=args.label)
         print(
@@ -308,6 +377,20 @@ def cmd_perf(args) -> int:
         return 0
     if args.check:
         from repro.perf.harness import MACRO_BENCHES, MICRO_BENCHES
+
+        if scenario is not None:
+            # The committed macro_study floor measures the stock dataset;
+            # gate everything else this run produced.
+            results = [r for r in results if r.name != "macro_study"]
+            print(
+                "# macro_study excluded from the gate: measured on "
+                f"{scenario}, not the stock workload",
+                file=sys.stderr,
+            )
+        if not results:
+            print("# --check skipped: no gateable benchmarks in this run",
+                  file=sys.stderr)
+            return 0
 
         tolerance = (
             args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
@@ -362,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sweep.add_argument("--verbose", action="store_true")
+    _add_scenario_flag(p_sweep)
     _add_fleet_flags(p_sweep)
     _add_seed_flag(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
@@ -371,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", nargs="+", default=dataset_names(), metavar="DS"
     )
     p_study.add_argument("--reps", type=int, default=5)
+    p_study.add_argument(
+        "--scenario", action="append", dest="scenarios", metavar="SPEC",
+        help=(
+            "also study this synthesized scenario, e.g. "
+            "'persona=reader,seed=1,duration=2m' (repeatable)"
+        ),
+    )
     p_study.add_argument("--verbose", action="store_true")
     _add_fleet_flags(p_study)
     _add_seed_flag(p_study)
@@ -411,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip scoring the stock governors for reference",
     )
     p_explore.add_argument("--verbose", action="store_true")
+    _add_scenario_flag(p_explore)
     _add_fleet_flags(p_explore)
     _add_seed_flag(p_explore)
     p_explore.set_defaults(func=cmd_explore)
@@ -460,6 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument(
         "--update-baseline", action="store_true",
         help="write this run's throughput as the new committed baseline",
+    )
+    p_perf.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help=(
+            "run the study-cell macro benchmark on a synthesized scenario "
+            "instead of the stock dataset (disables --check)"
+        ),
     )
     p_perf.set_defaults(func=cmd_perf)
     return parser

@@ -30,10 +30,13 @@ from repro.metrics.hci import SHNEIDERMAN_MODEL, HciModel
 from repro.oracle.builder import BusyTimeline
 from repro.replay import GeteventRecorder, ReplayAgent
 from repro.replay.trace import EventTrace
+from repro.scenarios.profiles import device_config_for
 from repro.uifw.view import WindowManager
-from repro.workloads.datasets import DatasetSpec
+from repro.workloads.datasets import DatasetSpec, check_recording
 from repro.workloads.sessions import ScriptedUser
 
+# Recording runs at the device's lowest OPP (§II-E); on the stock
+# profile that is the 0.30 GHz point this constant documents.
 RECORDING_FREQ_KHZ = 300_000
 QUIESCENCE_LIMIT_US = seconds(120)
 RUN_TAIL_US = seconds(5)
@@ -156,8 +159,10 @@ def record_workload(
 ) -> WorkloadArtifacts:
     """Record, capture and annotate one dataset (paper Fig. 4, part A)."""
     streams = RngStreams(master_seed).fork(f"dataset:{spec.name}")
+    if device_config is None:
+        device_config = device_config_for(spec)
     device, wm, _services = _build_device(
-        f"fixed:{RECORDING_FREQ_KHZ}",
+        f"fixed:{device_config.frequency_table.min_khz}",
         streams.fork("record-noise"),
         device_config,
     )
@@ -171,14 +176,20 @@ def record_workload(
     device.run_for(spec.duration_us)
 
     # Let the last interaction finish rendering before cutting the video.
+    # A gesture can still be in flight at the deadline (finger down, up
+    # not yet delivered) — its interaction only opens once the finger
+    # lifts, so the wait must cover in-flight contacts too or the video
+    # gets cut before the final interaction has even begun.
+    def _recording_pending() -> bool:
+        return device.touchscreen.contact_active or any(
+            not r.complete for r in wm.journal.interactions
+        )
+
     waited = 0
-    while (
-        any(not r.complete for r in wm.journal.interactions)
-        and waited < QUIESCENCE_LIMIT_US
-    ):
+    while _recording_pending() and waited < QUIESCENCE_LIMIT_US:
         device.run_for(seconds(1))
         waited += seconds(1)
-    if any(not r.complete for r in wm.journal.interactions):
+    if _recording_pending():
         raise WorkloadError(
             f"dataset {spec.name}: interactions still pending "
             f"{QUIESCENCE_LIMIT_US} us after the session deadline"
@@ -192,6 +203,7 @@ def record_workload(
     annotator = AutoAnnotator(spec.name, hci_model=hci_model)
     database = annotator.annotate(video, wm.journal)
     classification = classify_workload(spec.name, trace, database)
+    check_recording(spec, classification.total_inputs, duration_us)
     return WorkloadArtifacts(
         spec=spec,
         trace=trace,
@@ -222,6 +234,8 @@ def replay_run(
     streams = RngStreams(master_seed).fork(
         f"replay:{artifacts.name}:{config}:{rep}"
     )
+    if device_config is None:
+        device_config = device_config_for(artifacts.spec)
     device, wm, _services = _build_device(
         config, streams, device_config, **governor_tunables
     )

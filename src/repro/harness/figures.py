@@ -47,11 +47,10 @@ def format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def table1_rows() -> list[list[str]]:
-    """Dataset descriptions (paper Table I)."""
-    return [
-        [name, DATASETS[name].description]
-        for name in ("01", "02", "03", "04", "05")
-    ]
+    """Dataset descriptions (paper Table I) — registry-driven."""
+    from repro.workloads.datasets import dataset_names
+
+    return [[name, DATASETS[name].description] for name in dataset_names()]
 
 
 def render_table1() -> str:
@@ -264,11 +263,23 @@ def fig10_rows(artifacts_list: list[WorkloadArtifacts]) -> list[list[str]]:
             ]
         )
         totals.append(c)
-    ten_minute = [c for c in totals if c.dataset != "24hour"]
-    if len(ten_minute) > 1:
-        average = sum(c.total_inputs for c in ten_minute) / len(ten_minute)
+    short = [c for c in totals if _is_short_workload(c.dataset)]
+    if len(short) > 1:
+        average = sum(c.total_inputs for c in short) / len(short)
         rows.append(["average", "", "", "", "", f"{average:.0f}"])
     return rows
+
+
+def _is_short_workload(name: str) -> bool:
+    """Registry-driven Fig. 10 average membership (not a hard-coded list)."""
+    from repro.core.errors import WorkloadError
+    from repro.workloads.datasets import SHORT_WORKLOAD_LIMIT_US, dataset
+
+    try:
+        spec = dataset(name)
+    except WorkloadError:
+        return True
+    return spec.duration_us <= SHORT_WORKLOAD_LIMIT_US
 
 
 def render_fig10(artifacts_list: list[WorkloadArtifacts]) -> str:

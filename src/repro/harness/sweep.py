@@ -209,9 +209,15 @@ def run_sweep(
     ``jobs`` fans the runs out over a fleet of worker processes and
     ``cache`` serves already-computed cells from disk; both leave the
     result bit-identical to the serial, uncached path.
+
+    By default the OPP table and power model come from the workload's
+    device profile, so a scenario on ``quad_ls`` sweeps (and composes
+    its oracle over) that device's table, not the stock one.
     """
-    table = table or snapdragon_8074_table()
-    power_model = power_model or PowerModel()
+    from repro.scenarios.profiles import frequency_table_for, power_model_for
+
+    table = table or frequency_table_for(artifacts.spec)
+    power_model = power_model or power_model_for(artifacts.spec)
     # Canonicalise up front so every spelling of a configuration shares
     # one cache cell, one RNG stream and one results key.
     configs = parse_sweep_configs(

@@ -136,7 +136,7 @@ def _replay_cells(name: str, dataset_name: str, configs) -> BenchResult:
     )
 
 
-def _runner_for(name: str):
+def _runner_for(name: str, scenario: str | None = None):
     if name == "engine_events":
         return lambda: _run_engine_bench(name, workloads.run_engine_events)
     if name == "engine_periodic":
@@ -151,7 +151,9 @@ def _runner_for(name: str):
         return lambda: _run_engine_bench(name, workloads.run_governor_sim)
     if name == "macro_study":
         return lambda: _replay_cells(
-            name, workloads.MACRO_STUDY_DATASET, workloads.MACRO_STUDY_CONFIGS
+            name,
+            scenario or workloads.MACRO_STUDY_DATASET,
+            workloads.MACRO_STUDY_CONFIGS,
         )
     if name == "macro_daylong":
         return lambda: _replay_cells(
@@ -166,12 +168,14 @@ def run_suite(
     suite: str = "micro",
     repeats: int = 3,
     profile_path: str | None = None,
+    scenario: str | None = None,
 ) -> list[BenchResult]:
     """Run a benchmark suite, best-of-``repeats`` per benchmark.
 
     With ``profile_path``, one extra pass over the whole suite runs under
     cProfile and the stats are dumped there (inspect with ``python -m
-    pstats`` or snakeviz).
+    pstats`` or snakeviz).  ``scenario`` (a canonical scenario string)
+    replaces the stock dataset of the study-cell macro benchmark.
     """
     try:
         names = SUITES[suite]
@@ -185,14 +189,14 @@ def run_suite(
     results = []
     for name in names:
         reps = 1 if name in MACRO_BENCHES else repeats
-        results.append(_best_of(reps, _runner_for(name)))
+        results.append(_best_of(reps, _runner_for(name, scenario)))
     if profile_path is not None:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
         for name in names:
-            _runner_for(name)()
+            _runner_for(name, scenario)()
         profiler.disable()
         profiler.dump_stats(profile_path)
     return results

@@ -1,0 +1,157 @@
+"""Parsing and canonicalisation of scenario config strings.
+
+A *scenario string* names one synthesized workload::
+
+    persona=gamer,seed=7,duration=10m,profile=quad_ls
+
+Comma-separated ``key=value`` pairs, mirroring the grammar of governor
+config strings (:mod:`repro.governors.config`).  ``persona`` is
+required; ``seed`` (default 0), ``duration`` (default ``10m``) and
+``profile`` (default ``stock``) are optional.  Durations take a unit
+suffix — ``45s``, ``2m``, ``1h`` — and :func:`canonical_scenario`
+normalises every spelling of the same scenario (key order, whitespace,
+``_`` digit separators, equivalent duration units) to exactly one
+string, so that one scenario maps to one dataset name, one RNG stream
+and one cache cell.
+
+Like the governor grammar, this module stays free of simulator imports
+beyond the persona/profile registries it validates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+from repro.core.simtime import hours, minutes, seconds
+
+#: Canonical key order of a scenario string.
+SCENARIO_KEYS = ("persona", "seed", "duration", "profile")
+
+DEFAULT_SEED = 0
+DEFAULT_DURATION_US = minutes(10)
+DEFAULT_PROFILE = "stock"
+
+_UNIT_US = {"s": seconds(1), "m": minutes(1), "h": hours(1)}
+
+
+def parse_duration(text: str) -> int:
+    """``45s`` / ``2m`` / ``1h`` → microseconds (positive, unit required)."""
+    text = text.strip().replace("_", "")
+    unit = text[-1:] if text else ""
+    if unit not in _UNIT_US:
+        raise WorkloadError(
+            f"scenario duration {text!r} needs a unit suffix (s, m or h), "
+            "e.g. duration=10m"
+        )
+    try:
+        count = int(text[:-1])
+    except ValueError:
+        raise WorkloadError(
+            f"scenario duration {text!r} needs an integer count, e.g. 45s"
+        ) from None
+    if count <= 0:
+        raise WorkloadError(f"scenario duration {text!r} must be positive")
+    return count * _UNIT_US[unit]
+
+
+def format_duration(duration_us: int) -> str:
+    """Canonical spelling of a duration: the largest unit that divides it."""
+    for unit in ("h", "m", "s"):
+        unit_us = _UNIT_US[unit]
+        if duration_us % unit_us == 0:
+            return f"{duration_us // unit_us}{unit}"
+    raise WorkloadError(
+        f"scenario duration {duration_us} us is not a whole number of seconds"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One synthesized scenario: persona, seed, duration, device profile."""
+
+    persona: str
+    seed: int
+    duration_us: int
+    profile: str
+
+    def canonical(self) -> str:
+        """The canonical config string this spec answers to."""
+        return (
+            f"persona={self.persona},seed={self.seed},"
+            f"duration={format_duration(self.duration_us)},"
+            f"profile={self.profile}"
+        )
+
+
+def is_scenario_name(name: str) -> bool:
+    """Whether a workload name is a scenario string (vs a named dataset)."""
+    return isinstance(name, str) and "=" in name
+
+
+def parse_scenario(text: str) -> ScenarioSpec:
+    """Parse and validate a scenario string into a :class:`ScenarioSpec`.
+
+    Raises :class:`WorkloadError` with a one-line message for every
+    malformed spelling, unknown key, unknown persona or unknown profile.
+    """
+    from repro.scenarios.personas import PERSONAS
+    from repro.scenarios.profiles import PROFILES
+
+    if not isinstance(text, str) or not text.strip():
+        raise WorkloadError(f"empty scenario spec {text!r}")
+    pairs: dict[str, str] = {}
+    for pair in text.strip().split(","):
+        key, eq, value = pair.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not eq or not key or not value:
+            raise WorkloadError(
+                f"scenario {text!r}: malformed pair {pair.strip()!r} "
+                "(expected key=value)"
+            )
+        if key not in SCENARIO_KEYS:
+            raise WorkloadError(
+                f"scenario {text!r}: unknown key {key!r} "
+                f"(known: {', '.join(SCENARIO_KEYS)})"
+            )
+        if key in pairs:
+            raise WorkloadError(f"scenario {text!r}: duplicate key {key!r}")
+        pairs[key] = value
+
+    if "persona" not in pairs:
+        raise WorkloadError(
+            f"scenario {text!r} needs a persona, e.g. persona=gamer"
+        )
+    persona = pairs["persona"]
+    if persona not in PERSONAS:
+        raise WorkloadError(
+            f"scenario {text!r}: unknown persona {persona!r} "
+            f"(known: {', '.join(sorted(PERSONAS))})"
+        )
+    profile = pairs.get("profile", DEFAULT_PROFILE)
+    if profile not in PROFILES:
+        raise WorkloadError(
+            f"scenario {text!r}: unknown profile {profile!r} "
+            f"(known: {', '.join(sorted(PROFILES))})"
+        )
+    seed_text = pairs.get("seed", str(DEFAULT_SEED))
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise WorkloadError(
+            f"scenario {text!r}: seed needs an integer value, got {seed_text!r}"
+        ) from None
+    duration_us = (
+        parse_duration(pairs["duration"])
+        if "duration" in pairs
+        else DEFAULT_DURATION_US
+    )
+    return ScenarioSpec(
+        persona=persona, seed=seed, duration_us=duration_us, profile=profile
+    )
+
+
+def canonical_scenario(text: str) -> str:
+    """Normalise a scenario string to its one canonical spelling."""
+    return parse_scenario(text).canonical()

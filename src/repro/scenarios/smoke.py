@@ -1,0 +1,106 @@
+"""Scenario smoke check: ``python -m repro.scenarios.smoke``.
+
+For every persona: synthesize one short scenario, record it, replay it
+under two governors through the fleet engine (``jobs=2``) with a
+content-addressed cache, then re-run warm and verify
+
+* the warm pass executes **zero** replays (cache-key stability),
+* warm results are bit-identical to the cold ones,
+* a scenario re-synthesized from its canonical string produces the
+  same plan (round-trip determinism).
+
+Exit status 0 on success, 1 on any failure — CI's scenario-smoke job
+runs exactly this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import tempfile
+from random import Random
+
+SMOKE_GOVERNORS = ("ondemand", "qoe_aware")
+SMOKE_DURATION = "45s"
+SMOKE_SEED = 3
+
+
+def _digest(result) -> tuple:
+    return (
+        repr(result.energy_j),
+        repr(result.dynamic_energy_j),
+        result.busy_us,
+        repr(result.irritation_seconds()),
+        len(result.lag_profile.lags),
+        tuple(result.transitions),
+    )
+
+
+def run_smoke(out=sys.stdout) -> int:
+    from repro.fleet.cache import ResultCache
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.spec import RunSpec
+    from repro.harness.experiment import record_workload
+    from repro.scenarios.personas import persona_names
+    from repro.workloads.datasets import dataset
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="scenario-smoke-") as cache_dir:
+        for name in persona_names():
+            scenario = f"persona={name},seed={SMOKE_SEED},duration={SMOKE_DURATION}"
+            spec = dataset(scenario)
+
+            # Round-trip determinism of the synthesized plan.
+            steps_a = list(itertools.islice(spec.plan(Random(0)), 50))
+            steps_b = list(
+                itertools.islice(dataset(spec.name).plan(Random(99)), 50)
+            )
+            if steps_a != steps_b:
+                print(f"FAIL {spec.name}: plan not canonical-deterministic",
+                      file=out)
+                failures += 1
+                continue
+
+            artifacts = record_workload(spec)
+            specs = [
+                RunSpec(
+                    dataset=artifacts.name,
+                    config=config,
+                    rep=0,
+                    master_seed=artifacts.recording_master_seed,
+                )
+                for config in SMOKE_GOVERNORS
+            ]
+            cache = ResultCache(cache_dir)
+            engine = FleetEngine(jobs=2, cache=cache)
+            cold = [_digest(r) for r in engine.run(artifacts, specs)]
+            cold_executed = engine.last_stats.executed
+
+            warm_engine = FleetEngine(jobs=2, cache=ResultCache(cache_dir))
+            warm = [_digest(r) for r in warm_engine.run(artifacts, specs)]
+            if warm_engine.last_stats.executed != 0:
+                print(
+                    f"FAIL {spec.name}: warm re-run executed "
+                    f"{warm_engine.last_stats.executed} replay(s), wanted 0",
+                    file=out,
+                )
+                failures += 1
+            elif warm != cold:
+                print(f"FAIL {spec.name}: warm results differ from cold",
+                      file=out)
+                failures += 1
+            else:
+                print(
+                    f"ok {spec.name}: {artifacts.input_count} inputs, "
+                    f"{cold_executed} replays cold, 0 warm",
+                    file=out,
+                )
+    if failures:
+        print(f"{failures} scenario smoke failure(s)", file=out)
+        return 1
+    print("scenario smoke passed", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

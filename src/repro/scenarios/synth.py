@@ -1,0 +1,77 @@
+"""Scenario synthesis: config string → :class:`DatasetSpec`.
+
+A synthesized scenario is a first-class workload: its canonical config
+string is its dataset name, so it flows unchanged through recording,
+replay, the fleet cache key (via the workload fingerprint and
+``RunSpec.dataset``), saved artifacts, and every figure.
+
+Determinism: the plan stream is seeded from the canonical string alone
+(the harness's plan RNG is deliberately ignored), so the same scenario
+yields a byte-identical :class:`PlanStep` sequence regardless of the
+master seed, worker count or cache state.  :class:`ScenarioPlan` is a
+plain picklable value — fleet workers receive it inside the recorded
+artifacts' spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from random import Random
+from typing import Iterator
+
+from repro.scenarios.config import ScenarioSpec, parse_scenario
+from repro.scenarios.personas import PERSONAS, persona_plan
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.sessions import PlanStep
+
+
+def scenario_plan_seed(canonical: str) -> int:
+    """The plan-stream seed, a pure function of the canonical string."""
+    digest = hashlib.sha256(f"scenario-plan:{canonical}".encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class ScenarioPlan:
+    """Picklable plan factory for one scenario.
+
+    Implements the ``plan_factory`` protocol of :class:`DatasetSpec`.
+    The harness-supplied RNG is ignored: the stream is derived from the
+    scenario's canonical string so the plan is identical under every
+    master seed.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, _rng: Random) -> Iterator[PlanStep]:
+        rng = Random(scenario_plan_seed(self.spec.canonical()))
+        return persona_plan(PERSONAS[self.spec.persona], rng)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioPlan):
+            return NotImplemented
+        return self.spec == other.spec
+
+    def __hash__(self) -> int:
+        return hash(self.spec)
+
+    def __repr__(self) -> str:
+        return f"ScenarioPlan({self.spec.canonical()!r})"
+
+
+def synthesize_scenario(scenario: str | ScenarioSpec) -> DatasetSpec:
+    """Build the :class:`DatasetSpec` for a scenario string (or spec)."""
+    spec = (
+        scenario
+        if isinstance(scenario, ScenarioSpec)
+        else parse_scenario(scenario)
+    )
+    who = PERSONAS[spec.persona]
+    return DatasetSpec(
+        name=spec.canonical(),
+        description=f"Synthesized scenario — {who.description}",
+        duration_us=spec.duration_us,
+        plan_factory=ScenarioPlan(spec),
+        target_inputs=None,
+        profile=spec.profile,
+    )

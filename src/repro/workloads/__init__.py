@@ -3,16 +3,22 @@
 from repro.workloads.datasets import (
     DATASETS,
     DatasetSpec,
+    check_recording,
     dataset,
     dataset_names,
+    register_dataset,
+    unregister_dataset,
 )
 from repro.workloads.sessions import PlanStep, ScriptedUser
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "check_recording",
     "dataset",
     "dataset_names",
+    "register_dataset",
+    "unregister_dataset",
     "PlanStep",
     "ScriptedUser",
 ]

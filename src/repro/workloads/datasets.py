@@ -43,13 +43,20 @@ def _think(rng: Random, low_s: float, high_s: float) -> int:
 
 @dataclass(frozen=True, slots=True)
 class DatasetSpec:
-    """One workload: name, description, duration and plan factory."""
+    """One workload: name, description, duration and plan factory.
+
+    ``target_inputs`` is the tuned event count the recording should land
+    near (``None`` for synthesized scenarios, whose counts are emergent);
+    ``profile`` names the device profile the workload records and
+    replays on (see :mod:`repro.scenarios.profiles`).
+    """
 
     name: str
     description: str
     duration_us: int
     plan_factory: Callable[[Random], Iterator[PlanStep]]
-    target_inputs: int
+    target_inputs: int | None = None
+    profile: str = "stock"
 
     def plan(self, rng: Random) -> Iterator[PlanStep]:
         return self.plan_factory(rng)
@@ -311,16 +318,87 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
+# Durations above this are "day-class" workloads, excluded from the
+# default sweep set and from Fig. 10's ten-minute average.
+SHORT_WORKLOAD_LIMIT_US = minutes(30)
+
+# Tolerance band for the tuned event counts: a recording whose input
+# count falls outside ``target_inputs`` by more than this factor either
+# way indicates a broken plan or a broken recorder.
+INPUT_COUNT_TOLERANCE = 3.0
+
+
+def register_dataset(spec: DatasetSpec, replace: bool = False) -> DatasetSpec:
+    """Add a workload to the registry (tests, plugins, generated sets)."""
+    if not replace and spec.name in DATASETS:
+        raise WorkloadError(f"dataset {spec.name!r} is already registered")
+    DATASETS[spec.name] = spec
+    return spec
+
+
+def unregister_dataset(name: str) -> None:
+    DATASETS.pop(name, None)
+
+
 def dataset(name: str) -> DatasetSpec:
-    try:
-        return DATASETS[name]
-    except KeyError:
-        known = ", ".join(sorted(DATASETS))
-        raise WorkloadError(f"unknown dataset {name!r} (known: {known})") from None
+    """Resolve a workload name: a registered dataset or a scenario string.
+
+    Scenario strings (``persona=...,seed=...``) synthesize on the fly —
+    named datasets and synthesized scenarios are interchangeable
+    everywhere a dataset name is accepted.
+    """
+    spec = DATASETS.get(name)
+    if spec is not None:
+        return spec
+    from repro.scenarios.config import is_scenario_name
+
+    if is_scenario_name(name):
+        from repro.scenarios.synth import synthesize_scenario
+
+        return synthesize_scenario(name)
+    known = ", ".join(sorted(DATASETS))
+    raise WorkloadError(
+        f"unknown dataset {name!r} (known: {known}; or a scenario string "
+        "like persona=gamer,seed=7,duration=10m)"
+    ) from None
 
 
 def dataset_names(include_day: bool = False) -> list[str]:
-    names = ["01", "02", "03", "04", "05"]
+    """Registered workload names, short ones first (registry-driven)."""
+    names = [
+        name
+        for name, spec in DATASETS.items()
+        if spec.duration_us <= SHORT_WORKLOAD_LIMIT_US
+    ]
     if include_day:
-        names.append("24hour")
+        names.extend(
+            name
+            for name, spec in DATASETS.items()
+            if spec.duration_us > SHORT_WORKLOAD_LIMIT_US
+        )
     return names
+
+
+def check_recording(spec: DatasetSpec, input_count: int, duration_us: int) -> None:
+    """Validate a recording against its spec, registry-driven.
+
+    Duration and event-count expectations come from the spec itself, not
+    from a hard-coded list of the five Table I workloads, so synthesized
+    scenarios (``target_inputs=None``, arbitrary durations) pass the
+    same gate the tuned datasets do.
+    """
+    if duration_us < spec.duration_us:
+        raise WorkloadError(
+            f"workload {spec.name!r}: recording covers {duration_us} us, "
+            f"shorter than the spec's {spec.duration_us} us"
+        )
+    if spec.target_inputs is None:
+        return
+    low = spec.target_inputs / INPUT_COUNT_TOLERANCE
+    high = spec.target_inputs * INPUT_COUNT_TOLERANCE
+    if not (low <= input_count <= high):
+        raise WorkloadError(
+            f"workload {spec.name!r}: recorded {input_count} inputs, "
+            f"outside the tuned band [{low:.0f}, {high:.0f}] around "
+            f"{spec.target_inputs}"
+        )

@@ -129,6 +129,52 @@ def test_key_incorporates_governor_parameters(tmp_path, artifacts_ds03):
     assert len(set(keys)) == len(keys)
 
 
+def test_scenario_identity_flows_into_cache_keys(tmp_path):
+    """Scenario specs address distinct cells per persona/seed/duration/profile.
+
+    The canonical scenario string is the spec's ``dataset`` and part of
+    the workload fingerprint, so any change to the scenario's identity
+    must change the content address.
+    """
+    from repro.scenarios.config import canonical_scenario
+
+    cache = ResultCache(tmp_path)
+    fingerprint = "f" * 64
+    scenarios = [
+        "persona=gamer,seed=7,duration=2m",
+        "persona=gamer,seed=8,duration=2m",
+        "persona=reader,seed=7,duration=2m",
+        "persona=gamer,seed=7,duration=3m",
+        "persona=gamer,seed=7,duration=2m,profile=quad_ls",
+    ]
+    keys = [
+        cache.key_for(
+            RunSpec(canonical_scenario(s), "ondemand", 0, 2014), fingerprint
+        )
+        for s in scenarios
+    ]
+    assert len(set(keys)) == len(keys)
+    # Spelling does not split cells: canonicalisation collapses it.
+    respelled = cache.key_for(
+        RunSpec(
+            canonical_scenario("seed=7,persona=gamer,duration=120s"),
+            "ondemand", 0, 2014,
+        ),
+        fingerprint,
+    )
+    assert respelled == keys[0]
+
+
+def test_scenario_recordings_fingerprint_by_seed():
+    """Two seeds of one persona record different traces → different keys."""
+    from repro.harness.experiment import record_workload
+    from repro.workloads.datasets import dataset
+
+    a = record_workload(dataset("persona=messenger,seed=1,duration=45s"))
+    b = record_workload(dataset("persona=messenger,seed=2,duration=45s"))
+    assert workload_fingerprint(a) != workload_fingerprint(b)
+
+
 def test_differently_spelled_configs_share_a_sweep_cache_cell(
     tmp_path, artifacts_ds03
 ):

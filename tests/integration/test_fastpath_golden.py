@@ -134,3 +134,83 @@ def test_governor_cells_present_in_reference():
     """The committed reference covers every governor the study sweeps."""
     for config in GOVERNOR_CELLS:
         assert config in REFERENCE["cells"]
+
+
+# --- synthesized scenarios ----------------------------------------------------------
+#
+# One short scenario per persona, replayed under the proposed governor
+# and a stock one.  There is no committed reference for scenarios (the
+# grid is open-ended); the golden property is internal equivalence:
+# digests identical with the fast path disabled and through the fleet
+# engine at jobs=2.
+
+SCENARIO_GOVERNORS = ("qoe_aware", "ondemand")
+
+
+def _scenario_names():
+    from repro.scenarios.personas import persona_names
+
+    names = [
+        f"persona={name},seed=11,duration=45s" for name in persona_names()
+    ]
+    # One persona also runs on an alternate device profile so the
+    # profile plumbing is covered end to end.
+    names.append("persona=gamer,seed=11,duration=45s,profile=quad_ls")
+    return names
+
+
+@pytest.fixture(scope="module")
+def scenario_artifacts():
+    from repro.workloads.datasets import dataset as resolve
+
+    return {name: record_workload(resolve(name)) for name in _scenario_names()}
+
+
+@pytest.mark.parametrize("scenario", _scenario_names())
+def test_scenario_digests_match_with_fastpath_off(
+    scenario_artifacts, scenario, monkeypatch
+):
+    """Per persona: qoe_aware + ondemand digests survive REPRO_FASTPATH=0."""
+    artifacts = scenario_artifacts[scenario]
+    for config in SCENARIO_GOVERNORS:
+        captured = {}
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        fast = _cell_digests(
+            replay_run(
+                artifacts, config,
+                on_video=lambda video: captured.update(v=video),
+            ),
+            captured["v"],
+        )
+        captured.clear()
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        slow = _cell_digests(
+            replay_run(
+                artifacts, config,
+                on_video=lambda video: captured.update(v=video),
+            ),
+            captured["v"],
+        )
+        assert fast == slow, (scenario, config)
+
+
+@pytest.mark.parametrize("scenario", _scenario_names()[:3])
+def test_scenario_fleet_jobs_match_direct_replay(scenario_artifacts, scenario):
+    """Scenario cells are bit-identical through the fleet at jobs=2."""
+    artifacts = scenario_artifacts[scenario]
+    specs = [
+        RunSpec(
+            dataset=artifacts.name,
+            config=config,
+            rep=0,
+            master_seed=artifacts.recording_master_seed,
+        )
+        for config in SCENARIO_GOVERNORS
+    ]
+    fleet_results = FleetEngine(jobs=2).run(artifacts, specs)
+    for spec, fleet_result in zip(specs, fleet_results):
+        direct = replay_run(
+            artifacts, spec.config, rep=0,
+            master_seed=artifacts.recording_master_seed,
+        )
+        assert _cell_digests(fleet_result) == _cell_digests(direct)

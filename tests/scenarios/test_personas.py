@@ -1,0 +1,209 @@
+"""Property-based tests (seeded, no hypothesis) for scenario generation.
+
+Properties, checked over every persona and many seeds:
+
+* same config string ⇒ byte-identical :class:`PlanStep` sequence,
+  regardless of the harness RNG handed to the plan factory;
+* distinct scenario seeds ⇒ distinct sequences;
+* every generated step satisfies the ``PlanStep`` invariants and names
+  only targets the live UI can resolve, for every persona × app-mix
+  combination (vocabulary + index-range check here; actual end-to-end
+  resolution is exercised by the recording in the golden scenario
+  test).
+"""
+
+import itertools
+import re
+from random import Random
+
+import pytest
+
+from repro.scenarios.personas import (
+    ACTIVITIES,
+    PERSONAS,
+    PlanState,
+    persona_names,
+    persona_plan,
+)
+from repro.workloads.datasets import dataset
+from repro.workloads.sessions import KIND_SWIPE, KIND_TAP
+
+STEPS = 300
+
+# Everything the installed apps can resolve, per app: exact names and
+# (prefix, max index) ranges mirroring the widget layouts.
+NAV_TARGETS = {"nav:back", "nav:home", "dead"}
+APPS = (
+    "launcher gallery logoquiz pulse moviestudio messaging "
+    "facebook gmail playstore calculator music"
+).split()
+TAP_VOCAB: dict[str, tuple[set, list]] = {
+    "launcher": ({"widget", "dead"} | {f"icon:{a}" for a in APPS[1:]}, []),
+    "gallery": (
+        {"btn:edit", "btn:filter", "btn:save"} | NAV_TARGETS,
+        [("album:", 7), ("photo:", 5)],
+    ),
+    "logoquiz": (
+        {"btn:play", "btn:check"} | NAV_TARGETS | {f"key:{c}" for c in "abcdefghijklmnopqrstuvwxyz"},
+        [("level:", 8)],
+    ),
+    "pulse": (NAV_TARGETS, [("story:", 23)]),
+    "moviestudio": (
+        {"btn:addclip", "btn:preview", "btn:export"} | NAV_TARGETS,
+        [("clip:", 5)],
+    ),
+    "messaging": (
+        {"btn:attach", "btn:send"} | NAV_TARGETS | {f"key:{c}" for c in "abcdefghijklmnopqrstuvwxyz"},
+        [("thread:", 7), ("pick:", 5)],
+    ),
+    "facebook": (NAV_TARGETS, [("item:", 23)]),
+    "gmail": (NAV_TARGETS, [("item:", 17)]),
+    "calculator": (NAV_TARGETS | {f"key:{c}" for c in "0123456789+=./*-"}, []),
+    "music": ({"btn:toggle"} | NAV_TARGETS, []),
+}
+SWIPE_VOCAB = {
+    "pulse": {"scroll-up", "scroll-down", "pull-refresh"},
+    "gallery": {"flip-next", "flip-prev"},
+    "facebook": {"scroll-up", "scroll-down"},
+    "gmail": {"scroll-up", "scroll-down"},
+}
+
+
+def _steps(persona_name: str, seed: int, count: int = STEPS):
+    return list(
+        itertools.islice(
+            persona_plan(PERSONAS[persona_name], Random(seed)), count
+        )
+    )
+
+
+def _assert_resolvable(step):
+    if step.kind == KIND_SWIPE:
+        allowed = SWIPE_VOCAB.get(step.app, set())
+        assert step.target in allowed, (step.app, step.target)
+        return
+    exact, ranges = TAP_VOCAB[step.app]
+    if step.target in exact:
+        return
+    for prefix, top in ranges:
+        if step.target.startswith(prefix):
+            index = int(step.target[len(prefix):])
+            assert 0 <= index <= top, (step.app, step.target)
+            return
+    pytest.fail(f"unknown target {step.target!r} for app {step.app!r}")
+
+
+@pytest.mark.parametrize("name", persona_names())
+def test_same_seed_same_sequence(name):
+    assert _steps(name, 7) == _steps(name, 7)
+
+
+@pytest.mark.parametrize("name", persona_names())
+def test_distinct_seeds_distinct_sequences(name):
+    sequences = [tuple(_steps(name, seed, 120)) for seed in range(5)]
+    assert len(set(sequences)) == len(sequences), name
+
+
+@pytest.mark.parametrize("name", persona_names())
+def test_steps_satisfy_invariants_and_vocabulary(name):
+    for seed in (1, 2, 3):
+        steps = _steps(name, seed)
+        assert len(steps) == STEPS
+        for step in steps:
+            assert step.kind in (KIND_TAP, KIND_SWIPE)
+            assert step.think_us >= 0
+            assert step.app in APPS
+            _assert_resolvable(step)
+
+
+@pytest.mark.parametrize("name", persona_names())
+def test_every_mix_activity_is_reachable(name):
+    """Every activity in a persona's mix appears given enough steps."""
+    persona = PERSONAS[name]
+    seen = set()
+    launched = {
+        step.target
+        for step in _steps(name, 9, 1500)
+        if step.app == "launcher"
+    }
+    activity_markers = {
+        "quiz": "icon:logoquiz",
+        "chat": "icon:messaging",
+        "photos": "icon:gallery",
+        "video": "icon:moviestudio",
+        "sums": "icon:calculator",
+        "tunes": "icon:music",
+    }
+    for activity, _weight in persona.app_mix:
+        if activity == "news":
+            assert launched & {"icon:pulse", "widget"}, name
+        elif activity == "feed":
+            assert launched & {"icon:facebook", "icon:gmail"}, name
+        else:
+            assert activity_markers[activity] in launched, (name, activity)
+        seen.add(activity)
+    assert seen  # the mix is non-empty
+
+
+def test_scenario_plan_ignores_harness_rng():
+    """The plan is a pure function of the canonical config string."""
+    spec = dataset("persona=mixed,seed=5,duration=2m")
+    a = list(itertools.islice(spec.plan(Random(1)), 100))
+    b = list(itertools.islice(spec.plan(Random(999)), 100))
+    assert a == b
+
+
+def test_persona_registry_shape():
+    assert len(PERSONAS) >= 5
+    for persona in PERSONAS.values():
+        assert persona.app_mix, persona.name
+        assert all(weight > 0 for _, weight in persona.app_mix), persona.name
+        assert all(
+            activity in ACTIVITIES for activity, _ in persona.app_mix
+        ), persona.name
+        assert persona.think_scale > 0
+        assert 0 <= persona.spurious_rate <= 1
+        low, high = persona.idle_gap_s
+        assert 0 < low <= high
+
+
+def test_moviestudio_selection_never_names_unimported_clip():
+    """Clip taps must track the project state across visits."""
+    persona = PERSONAS["creator"]
+    for seed in range(4):
+        state_clips = 0
+        for step in itertools.islice(
+            persona_plan(persona, Random(seed)), 600
+        ):
+            if step.app != "moviestudio":
+                continue
+            if step.target == "btn:addclip":
+                state_clips = min(6, state_clips + 1)
+            match = re.fullmatch(r"clip:(\d+)", step.target)
+            if match:
+                assert int(match.group(1)) < state_clips
+
+
+def test_pulse_story_taps_stay_in_visible_window():
+    """Story indices track the scroll offset the swipes produce."""
+    for name in persona_names():
+        rows = 0
+        for step in itertools.islice(
+            persona_plan(PERSONAS[name], Random(11)), 800
+        ):
+            if step.app != "pulse":
+                continue
+            if step.kind == KIND_SWIPE:
+                if step.target == "scroll-up":
+                    rows += 8
+                elif step.target == "scroll-down":
+                    rows -= 8
+                elif step.target == "pull-refresh":
+                    rows = 0
+                continue
+            match = re.fullmatch(r"story:(\d+)", step.target)
+            if match:
+                index = int(match.group(1))
+                # The tracked window rows..rows+6 stays tappable even
+                # when the list clamps at its maximum scroll.
+                assert rows <= index <= min(23, rows + 6) or index == 23

@@ -1,0 +1,77 @@
+"""Tests for the scenario config-string grammar."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.scenarios.config import (
+    ScenarioSpec,
+    canonical_scenario,
+    format_duration,
+    is_scenario_name,
+    parse_duration,
+    parse_scenario,
+)
+
+
+def test_full_spec_parses():
+    spec = parse_scenario("persona=gamer,seed=7,duration=10m,profile=quad_ls")
+    assert spec == ScenarioSpec("gamer", 7, 600_000_000, "quad_ls")
+
+
+def test_defaults_fill_in():
+    spec = parse_scenario("persona=reader")
+    assert spec.seed == 0
+    assert spec.duration_us == 600_000_000
+    assert spec.profile == "stock"
+
+
+def test_canonical_is_stable_and_order_insensitive():
+    spellings = [
+        "persona=gamer,seed=7,duration=2m",
+        "seed=7,persona=gamer,duration=120s",
+        " persona = gamer , duration=2m, seed=7 ",
+        "duration=2m,profile=stock,seed=7,persona=gamer",
+    ]
+    canon = {canonical_scenario(s) for s in spellings}
+    assert canon == {"persona=gamer,seed=7,duration=2m,profile=stock"}
+    # Canonicalisation is idempotent.
+    only = canon.pop()
+    assert canonical_scenario(only) == only
+
+
+def test_duration_units():
+    assert parse_duration("45s") == 45_000_000
+    assert parse_duration("2m") == 120_000_000
+    assert parse_duration("1h") == 3_600_000_000
+    assert format_duration(120_000_000) == "2m"
+    assert format_duration(90_000_000) == "90s"
+    assert format_duration(3_600_000_000) == "1h"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "gamer",
+        "persona=",
+        "persona=gamer,persona=gamer",
+        "persona=gamer,flavour=salty",
+        "persona=nobody",
+        "persona=gamer,profile=octa_phantom",
+        "persona=gamer,seed=seven",
+        "persona=gamer,duration=10",
+        "persona=gamer,duration=0m",
+        "persona=gamer,duration=-2m",
+        "seed=7,duration=2m",
+    ],
+)
+def test_malformed_specs_raise_one_line_errors(bad):
+    with pytest.raises(WorkloadError) as excinfo:
+        parse_scenario(bad)
+    assert "\n" not in str(excinfo.value)
+
+
+def test_is_scenario_name():
+    assert is_scenario_name("persona=gamer,seed=1")
+    assert not is_scenario_name("03")
+    assert not is_scenario_name("24hour")

@@ -1,0 +1,98 @@
+"""Workload registry: named datasets and scenarios interchangeable.
+
+Includes the regression for the old event-count tuning assumption: the
+duration/count checks are driven by each spec in the registry, so a
+synthesized scenario (``target_inputs=None``, arbitrary duration) passes
+the same validation gate the five tuned datasets do.
+"""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.simtime import minutes, seconds
+from repro.workloads.datasets import (
+    DatasetSpec,
+    check_recording,
+    dataset,
+    dataset_names,
+    register_dataset,
+    unregister_dataset,
+)
+
+
+def test_scenario_strings_resolve_like_datasets():
+    spec = dataset("persona=gamer,seed=7,duration=2m")
+    assert spec.name == "persona=gamer,seed=7,duration=2m,profile=stock"
+    assert spec.duration_us == 120_000_000
+    assert spec.target_inputs is None
+    # Any spelling resolves to the same canonical spec.
+    respelled = dataset("seed=7,persona=gamer,duration=120s")
+    assert respelled.name == spec.name
+
+
+def test_unknown_names_still_rejected():
+    with pytest.raises(WorkloadError):
+        dataset("99")
+    with pytest.raises(WorkloadError):
+        dataset("persona=nobody,seed=1")
+
+
+def test_register_and_unregister_custom_dataset():
+    spec = DatasetSpec(
+        name="custom-empty",
+        description="Zero-input session for edge-case tests.",
+        duration_us=seconds(5),
+        plan_factory=lambda rng: iter(()),
+    )
+    register_dataset(spec)
+    try:
+        assert dataset("custom-empty") is spec
+        with pytest.raises(WorkloadError):
+            register_dataset(spec)  # duplicate without replace
+        register_dataset(spec, replace=True)
+    finally:
+        unregister_dataset("custom-empty")
+    with pytest.raises(WorkloadError):
+        dataset("custom-empty")
+
+
+def test_dataset_names_are_registry_driven():
+    assert dataset_names() == ["01", "02", "03", "04", "05"]
+    assert dataset_names(include_day=True)[-1] == "24hour"
+    extra = DatasetSpec(
+        name="zz-extra",
+        description="Registered short workload.",
+        duration_us=minutes(5),
+        plan_factory=lambda rng: iter(()),
+    )
+    register_dataset(extra)
+    try:
+        assert "zz-extra" in dataset_names()
+        assert "zz-extra" in dataset_names(include_day=True)
+    finally:
+        unregister_dataset("zz-extra")
+
+
+def test_check_recording_is_data_driven():
+    tuned = dataset("02")  # target_inputs=149
+    check_recording(tuned, 149, tuned.duration_us)
+    check_recording(tuned, 60, tuned.duration_us)  # inside the 3x band
+    with pytest.raises(WorkloadError):
+        check_recording(tuned, 3, tuned.duration_us)  # broken plan
+    with pytest.raises(WorkloadError):
+        check_recording(tuned, 149, tuned.duration_us - 1)  # short recording
+
+    # Regression: a spec without tuned counts (synthesized scenarios,
+    # registered custom workloads) passes with any count.
+    scenario = dataset("persona=reader,seed=1,duration=45s")
+    check_recording(scenario, 0, scenario.duration_us)
+    check_recording(scenario, 10_000, scenario.duration_us + 5)
+
+
+def test_synthesized_scenario_recording_passes_validation():
+    """End to end: recording a scenario does not trip workload checks."""
+    from repro.harness.experiment import record_workload
+
+    artifacts = record_workload(dataset("persona=gamer,seed=5,duration=45s"))
+    assert artifacts.duration_us >= artifacts.spec.duration_us
+    assert artifacts.input_count > 0
