@@ -14,6 +14,7 @@ from repro.analysis.classify import InputClassification, classify_workload
 from repro.analysis.diff import build_mask, diff_pixel_count, frames_equal
 from repro.analysis.lagprofile import LagMeasurement, LagProfile
 from repro.analysis.matcher import Matcher
+from repro.analysis.online import OnlineMatcher
 from repro.analysis.suggester import Suggestion, SuggesterConfig, suggest
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "LagMeasurement",
     "LagProfile",
     "Matcher",
+    "OnlineMatcher",
     "Suggestion",
     "SuggesterConfig",
     "suggest",

@@ -6,16 +6,20 @@ reached where an input was issued, it picks the corresponding lag ending
 from the annotation data base and compares all following frames with that
 image until it finds a match."  Occurrence counting handles endings that
 look like beginnings; masks handle run-to-run nondeterminism.
+
+The algorithm itself lives in :class:`~repro.analysis.online.
+OnlineMatcher`, a reducer over the capture's segment stream; this batch
+front-end simply drives that reducer over a materialised video's
+segments, so the streaming and batch paths share one implementation and
+produce bit-identical profiles by construction.
 """
 
 from __future__ import annotations
 
-from repro.core.errors import MatchError
-from repro.analysis.annotation import AnnotationDatabase, LagAnnotation
-from repro.analysis.diff import build_mask, frames_equal
-from repro.analysis.lagprofile import LagMeasurement, LagProfile
+from repro.analysis.annotation import AnnotationDatabase
+from repro.analysis.lagprofile import LagProfile
+from repro.analysis.online import OnlineMatcher
 from repro.capture.video import Video
-from repro.device.display import VSYNC_PERIOD_US
 
 
 class Matcher:
@@ -26,56 +30,10 @@ class Matcher:
 
     def match(self, video: Video) -> LagProfile:
         """Produce the lag profile of one workload execution's video."""
-        measurements = []
-        for lag_index, annotation in enumerate(self._db.annotations):
-            measurements.append(self._match_one(video, lag_index, annotation))
-        return LagProfile(self._db.workload_name, tuple(measurements))
-
-    def _match_one(
-        self, video: Video, lag_index: int, annotation: LagAnnotation
-    ) -> LagMeasurement:
-        begin_frame = annotation.begin_time_us // VSYNC_PERIOD_US
-        if begin_frame < video.start_frame or begin_frame >= video.end_frame:
-            raise MatchError(
-                f"lag {annotation.label!r} begins at frame {begin_frame}, "
-                f"outside the video ({video.start_frame}..{video.end_frame})"
-            )
-        end_frame = self._find_ending(video, begin_frame, annotation)
-        end_time = video.frame_time_us(end_frame)
-        duration = max(0, end_time - annotation.begin_time_us)
-        return LagMeasurement(
-            lag_index=lag_index,
-            gesture_index=annotation.gesture_index,
-            label=annotation.label,
-            category=annotation.category,
-            begin_time_us=annotation.begin_time_us,
-            end_frame=end_frame,
-            duration_us=duration,
-            threshold_us=annotation.threshold_us,
-        )
-
-    def _find_ending(
-        self, video: Video, begin_frame: int, annotation: LagAnnotation
-    ) -> int:
-        """First frame of the ``occurrence``-th run matching the image."""
-        mask = build_mask(annotation.image.shape, annotation.mask_rects)
-        occurrences = 0
-        in_match = False
-        for segment in video.segments_between(begin_frame, video.end_frame):
-            matches = frames_equal(
-                segment.content,
-                annotation.image,
-                mask,
-                annotation.tolerance_px,
-            )
-            if matches and not in_match:
-                occurrences += 1
-                if occurrences == annotation.occurrence:
-                    return max(segment.start, begin_frame)
-            in_match = matches
-        raise MatchError(
-            f"lag {annotation.label!r}: ending image never appeared after "
-            f"frame {begin_frame} (found {occurrences} of "
-            f"{annotation.occurrence} occurrences) — the workload has "
-            "desynchronised or the annotation is stale"
-        )
+        if not self._db.annotations:
+            return LagProfile(self._db.workload_name, ())
+        online = OnlineMatcher(self._db)
+        for segment in video.segments():
+            online.on_segment(segment)
+        online.on_stop(video.end_frame)
+        return online.profile()

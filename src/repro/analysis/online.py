@@ -1,0 +1,175 @@
+"""The matcher as an online reducer over the capture's segment stream.
+
+The batch matcher (paper §II-E) re-scans a materialised video once per
+annotation.  :class:`OnlineMatcher` performs the identical algorithm as a
+:class:`~repro.capture.stream.FrameTap`: each gesture's scan state is
+activated when the stream reaches its input time, every closed segment is
+compared against the (few) currently-open annotation windows, and a
+matched window releases its state immediately — so memory is
+O(active-window), not O(session), and consumed frames are never retained.
+
+Equivalence with the batch matcher is structural, not tested-for only:
+:class:`~repro.analysis.matcher.Matcher` drives this same reducer over
+``video.segments()``, so the two paths cannot diverge.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import MatchError
+from repro.analysis.annotation import AnnotationDatabase, LagAnnotation
+from repro.analysis.diff import build_mask, frames_equal
+from repro.analysis.lagprofile import LagMeasurement, LagProfile
+from repro.capture.stream import FrameTap
+from repro.device.display import VSYNC_PERIOD_US, frame_timestamp
+
+
+class _ScanState:
+    """One annotation's progress through the stream."""
+
+    __slots__ = (
+        "lag_index",
+        "annotation",
+        "begin_frame",
+        "mask",
+        "occurrences",
+        "in_match",
+        "out_of_range",
+    )
+
+    def __init__(self, lag_index: int, annotation: LagAnnotation) -> None:
+        self.lag_index = lag_index
+        self.annotation = annotation
+        self.begin_frame = annotation.begin_time_us // VSYNC_PERIOD_US
+        self.mask = None
+        self.occurrences = 0
+        self.in_match = False
+        self.out_of_range = False
+
+
+class OnlineMatcher(FrameTap):
+    """Fully automatic lag detection, one segment at a time.
+
+    Subscribe to a capture (``card.add_tap(matcher)``), run the replay,
+    then read :meth:`profile`.  Annotations activate in begin-time order
+    (the database keeps them sorted); a segment is compared only against
+    annotations whose window is open, and a serviced window drops its
+    state at once.
+    """
+
+    def __init__(self, database: AnnotationDatabase) -> None:
+        self._db = database
+        self._scans = [
+            _ScanState(lag_index, annotation)
+            for lag_index, annotation in enumerate(database.annotations)
+        ]
+        self._next = 0
+        self._active: list[_ScanState] = []
+        self._done: dict[int, LagMeasurement] = {}
+        self._start_frame: int | None = None
+        self._end_frame: int | None = None
+
+    # --- FrameTap interface -----------------------------------------------------
+
+    def on_segment(self, segment) -> None:
+        if self._start_frame is None:
+            self._start_frame = segment.start
+        # Open every annotation window the stream has now reached.  A
+        # window beginning before the capture started can never be
+        # scanned; it is reported (in database order) at profile time,
+        # exactly like the batch matcher's range check.
+        while (
+            self._next < len(self._scans)
+            and self._scans[self._next].begin_frame < segment.end
+        ):
+            scan = self._scans[self._next]
+            self._next += 1
+            if scan.begin_frame < self._start_frame:
+                scan.out_of_range = True
+                continue
+            scan.mask = build_mask(
+                scan.annotation.image.shape, scan.annotation.mask_rects
+            )
+            self._active.append(scan)
+        if not self._active:
+            return
+        finished: list[_ScanState] | None = None
+        for scan in self._active:
+            annotation = scan.annotation
+            matches = frames_equal(
+                segment.content,
+                annotation.image,
+                scan.mask,
+                annotation.tolerance_px,
+            )
+            if matches and not scan.in_match:
+                scan.occurrences += 1
+                if scan.occurrences == annotation.occurrence:
+                    self._finish(scan, max(segment.start, scan.begin_frame))
+                    if finished is None:
+                        finished = []
+                    finished.append(scan)
+                    continue
+            scan.in_match = matches
+        if finished:
+            for scan in finished:
+                self._active.remove(scan)
+
+    def on_stop(self, end_frame: int) -> None:
+        self._end_frame = end_frame
+
+    # --- results ---------------------------------------------------------------
+
+    def profile(self) -> LagProfile:
+        """The lag profile, or the first (database-order) failure.
+
+        Raises :class:`MatchError` with the batch matcher's exact
+        diagnostics: an annotation beginning outside the captured frame
+        range, or an ending image that never appeared.
+        """
+        if self._end_frame is None:
+            raise MatchError("capture still running: no stop signal received")
+        measurements = []
+        for scan in self._scans:
+            measurement = self._done.get(scan.lag_index)
+            if measurement is not None:
+                measurements.append(measurement)
+                continue
+            self._raise_unmatched(scan)
+        return LagProfile(self._db.workload_name, tuple(measurements))
+
+    def _finish(self, scan: _ScanState, end_frame: int) -> None:
+        annotation = scan.annotation
+        end_time = frame_timestamp(end_frame)
+        duration = max(0, end_time - annotation.begin_time_us)
+        self._done[scan.lag_index] = LagMeasurement(
+            lag_index=scan.lag_index,
+            gesture_index=annotation.gesture_index,
+            label=annotation.label,
+            category=annotation.category,
+            begin_time_us=annotation.begin_time_us,
+            end_frame=end_frame,
+            duration_us=duration,
+            threshold_us=annotation.threshold_us,
+        )
+        scan.mask = None
+
+    def _raise_unmatched(self, scan: _ScanState) -> None:
+        annotation = scan.annotation
+        start_frame = (
+            self._start_frame if self._start_frame is not None else self._end_frame
+        )
+        if (
+            scan.out_of_range
+            or scan.begin_frame < start_frame
+            or scan.begin_frame >= self._end_frame
+        ):
+            raise MatchError(
+                f"lag {annotation.label!r} begins at frame {scan.begin_frame}, "
+                f"outside the video ({start_frame}..{self._end_frame})"
+            )
+        raise MatchError(
+            f"lag {annotation.label!r}: ending image never appeared after "
+            f"frame {scan.begin_frame} (found {scan.occurrences} of "
+            f"{annotation.occurrence} occurrences) — the workload has "
+            "desynchronised or the annotation is stale"
+        )

@@ -1,0 +1,221 @@
+"""Streaming frame segments: the capture card's tap bus.
+
+The batch pipeline materialises a whole :class:`~repro.capture.video.Video`
+and analyses it post-hoc, which costs O(session) memory — the wall the
+day-long and persona workloads hit first.  This module is the streaming
+alternative: a :class:`SegmentStreamer` runs the exact RLE state machine
+the video container uses, but *emits* each run of identical frames to
+subscribed :class:`FrameTap` objects as soon as the run can no longer
+change, then forgets it.  Consumers that can reduce online (the matcher,
+digest accumulators) therefore hold O(active-window) state instead of the
+whole capture.
+
+A segment is emitted once two newer runs exist behind it: the recording
+semantics (same-vsync recomposition may replace the last run or merge it
+back into its predecessor) can only ever mutate the last two runs, so
+holding exactly two pending runs makes emitted segments immutable.  The
+``Video`` container records through this same state machine, which is what
+makes streamed segments bit-identical to ``video.segments()``.
+
+``REPRO_STREAM=0`` disables the streaming run pipeline (see
+:func:`stream_enabled`), preserving the materialise-then-analyze batch
+path for A/B comparison — the two paths must produce bit-identical study
+output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.errors import CaptureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.capture.video import Frame, VideoSegment
+
+
+def stream_enabled() -> bool:
+    """Whether the streaming run pipeline is on (default) or the batch
+    materialise-then-analyze path should be used.
+
+    Controlled by ``REPRO_STREAM`` (mirror of ``REPRO_FASTPATH``): any
+    value but ``0`` streams.  Output (lag profiles, energy, digests) is
+    bit-identical either way; ``REPRO_STREAM=0`` exists for A/B
+    verification and as a kill switch.
+    """
+    return os.environ.get("REPRO_STREAM", "1") != "0"
+
+
+class FrameTap:
+    """A subscriber to the capture card's segment stream.
+
+    Taps receive every closed segment, in frame order, exactly once —
+    during replay on the streaming path, or replayed from the finished
+    video at ``stop()`` on the batch path, so a tap observes the same
+    sequence either way.  Subclasses override what they need; both
+    methods are no-ops by default.
+    """
+
+    def on_segment(self, segment: "VideoSegment") -> None:
+        """One closed run of identical frames ``[start, end)``."""
+
+    def on_stop(self, end_frame: int) -> None:
+        """The capture stopped; ``end_frame`` is one past the last frame."""
+
+
+class FrameDigestTap(FrameTap):
+    """Accumulates the frame-journal digest without holding any frames.
+
+    Digest of the ``(start, end, content-digest)`` triple of every
+    segment — the quantity the golden-equivalence tests pin, computed in
+    O(1) memory instead of over a materialised video.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.blake2b(digest_size=16)
+        self.segment_count = 0
+        self.end_frame: int | None = None
+
+    def on_segment(self, segment: "VideoSegment") -> None:
+        self._digest.update(segment.start.to_bytes(8, "big"))
+        self._digest.update(segment.end.to_bytes(8, "big"))
+        self._digest.update(segment.digest)
+        self.segment_count += 1
+
+    def on_stop(self, end_frame: int) -> None:
+        self.end_frame = end_frame
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+class SegmentStreamer:
+    """The RLE recording state machine with incremental segment emission.
+
+    Frames are recorded exactly as into a :class:`Video` (gap filling,
+    same-vsync replacement, merge-back), but completed runs flow out to
+    taps instead of accumulating: at most two pending runs are held at
+    any time.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._pending: list[VideoSegment] = []
+        self._taps: list[FrameTap] = []
+        self._finalized = False
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def add_tap(self, tap: FrameTap) -> None:
+        self._taps.append(tap)
+
+    def pending_segments(self) -> list["VideoSegment"]:
+        """The (at most two) runs that may still change."""
+        return list(self._pending)
+
+    # --- recording ------------------------------------------------------------
+
+    def record_frame(self, frame_index: int, content: "Frame") -> None:
+        """Record the display content as of ``frame_index``.
+
+        Same contract as :meth:`Video.record_frame`: gaps are filled with
+        the previous content, re-recording the current index replaces it
+        (two compositions inside one vsync interval).
+        """
+        from repro.capture.video import VideoSegment, content_digest
+
+        if self._finalized:
+            raise CaptureError("capture already finalized")
+        if content.shape != (self.height, self.width):
+            raise CaptureError(
+                f"frame shape {content.shape} != video {self.height, self.width}"
+            )
+        digest = content_digest(content)
+        if not self._pending:
+            if frame_index < 0:
+                raise CaptureError("frame index must be >= 0")
+            self._append(
+                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+            )
+            return
+        last = self._pending[-1]
+        if frame_index == last.end - 1:
+            # Same vsync slot composed again: replace.
+            if digest == last.digest:
+                return
+            if last.length == 1:
+                removed = self._pending.pop()
+                prev = self._pending[-1] if self._pending else None
+                if prev is not None and prev.digest == digest:
+                    prev.end = frame_index + 1
+                else:
+                    self._append(
+                        VideoSegment(
+                            removed.start, removed.end, content.copy(), digest
+                        )
+                    )
+            else:
+                last.end = frame_index
+                self._append(
+                    VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+                )
+            return
+        if frame_index < last.end - 1:
+            raise CaptureError(
+                f"frame {frame_index} recorded after frame {last.end - 1}"
+            )
+        # Fill the still gap, then start a new segment if content changed.
+        last.end = frame_index
+        if digest == last.digest:
+            last.end = frame_index + 1
+        else:
+            self._append(
+                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
+            )
+
+    def finalize(self, end_frame_index: int) -> None:
+        """Extend the last still period to the capture stop point, flush
+        every pending segment to the taps and signal the stop."""
+        if self._finalized:
+            raise CaptureError("capture already finalized")
+        if not self._pending:
+            raise CaptureError("cannot finalize an empty video")
+        last = self._pending[-1]
+        if end_frame_index < last.end:
+            raise CaptureError("finalize cannot truncate the video")
+        last.end = end_frame_index
+        self._finalized = True
+        for segment in self._pending:
+            self._emit(segment)
+        self._pending.clear()
+        for tap in self._taps:
+            tap.on_stop(end_frame_index)
+
+    # --- internals ------------------------------------------------------------
+
+    def _append(self, segment: "VideoSegment") -> None:
+        self._pending.append(segment)
+        # Mutations (gap fill, same-vsync replace, merge-back) only ever
+        # touch the last two runs; anything older is immutable — emit it.
+        while len(self._pending) > 2:
+            self._emit(self._pending.pop(0))
+
+    def _emit(self, segment: "VideoSegment") -> None:
+        for tap in self._taps:
+            tap.on_segment(segment)
+
+
+def replay_segments(segments, end_frame: int, tap: FrameTap) -> None:
+    """Feed an already-materialised segment list through a tap.
+
+    The batch path (``REPRO_STREAM=0``) uses this at capture stop so a
+    tap observes the identical segment sequence the streaming path would
+    have delivered live.
+    """
+    for segment in segments:
+        tap.on_segment(segment)
+    tap.on_stop(end_frame)

@@ -41,15 +41,40 @@ class VideoSegment:
         return self.end - self.start
 
 
+class _CollectTap:
+    """Streamer tap that accumulates closed segments into a list."""
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: list[VideoSegment]) -> None:
+        self._segments = segments
+
+    def on_segment(self, segment: VideoSegment) -> None:
+        self._segments.append(segment)
+
+    def on_stop(self, end_frame: int) -> None:
+        pass
+
+
 class Video:
-    """An RLE-compressed, frame-addressable screen capture."""
+    """An RLE-compressed, frame-addressable screen capture.
+
+    Recording runs through the same :class:`~repro.capture.stream.
+    SegmentStreamer` state machine the streaming pipeline uses, so the
+    segments a materialised video exposes are bit-identical to the ones
+    streamed to frame taps — the property the ``REPRO_STREAM`` A/B
+    equivalence rests on.
+    """
 
     def __init__(self, width: int, height: int, fps_period_us: int = VSYNC_PERIOD_US):
+        from repro.capture.stream import SegmentStreamer
+
         self.width = width
         self.height = height
         self.fps_period_us = fps_period_us
         self._segments: list[VideoSegment] = []
-        self._finalized = False
+        self._streamer = SegmentStreamer(width, height)
+        self._streamer.add_tap(_CollectTap(self._segments))
 
     # --- recording side -------------------------------------------------------------
 
@@ -61,79 +86,38 @@ class Video:
         Re-recording the current index replaces its content (two
         compositions inside one vsync interval).
         """
-        if self._finalized:
-            raise CaptureError("video already finalized")
-        if content.shape != (self.height, self.width):
-            raise CaptureError(
-                f"frame shape {content.shape} != video {self.height, self.width}"
-            )
-        digest = content_digest(content)
-        if not self._segments:
-            if frame_index < 0:
-                raise CaptureError("frame index must be >= 0")
-            self._segments.append(
-                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
-            )
-            return
-        last = self._segments[-1]
-        if frame_index == last.end - 1:
-            # Same vsync slot composed again: replace.
-            if digest == last.digest:
-                return
-            if last.length == 1:
-                removed = self._segments.pop()
-                prev = self._segments[-1] if self._segments else None
-                if prev is not None and prev.digest == digest:
-                    prev.end = frame_index + 1
-                else:
-                    self._segments.append(
-                        VideoSegment(
-                            removed.start, removed.end, content.copy(), digest
-                        )
-                    )
-            else:
-                last.end = frame_index
-                self._segments.append(
-                    VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
-                )
-            return
-        if frame_index < last.end - 1:
-            raise CaptureError(
-                f"frame {frame_index} recorded after frame {last.end - 1}"
-            )
-        # Fill the still gap, then start a new segment if content changed.
-        last.end = frame_index
-        if digest == last.digest:
-            last.end = frame_index + 1
-        else:
-            self._segments.append(
-                VideoSegment(frame_index, frame_index + 1, content.copy(), digest)
-            )
+        self._streamer.record_frame(frame_index, content)
 
     def finalize(self, end_frame_index: int) -> None:
         """Extend the last still period to the capture stop point."""
-        if not self._segments:
-            raise CaptureError("cannot finalize an empty video")
-        last = self._segments[-1]
-        if end_frame_index < last.end:
-            raise CaptureError("finalize cannot truncate the video")
-        last.end = end_frame_index
-        self._finalized = True
+        self._streamer.finalize(end_frame_index)
+
+    @property
+    def _finalized(self) -> bool:
+        return self._streamer.finalized
+
+    def _all_segments(self) -> list[VideoSegment]:
+        """Closed plus still-pending segments (pending empty once final)."""
+        if self._streamer.finalized:
+            return self._segments
+        return self._segments + self._streamer.pending_segments()
 
     # --- read side ---------------------------------------------------------------------
 
     @property
     def start_frame(self) -> int:
-        if not self._segments:
+        segments = self._all_segments()
+        if not segments:
             raise CaptureError("video is empty")
-        return self._segments[0].start
+        return segments[0].start
 
     @property
     def end_frame(self) -> int:
         """One past the last frame index."""
-        if not self._segments:
+        segments = self._all_segments()
+        if not segments:
             raise CaptureError("video is empty")
-        return self._segments[-1].end
+        return segments[-1].end
 
     @property
     def frame_count(self) -> int:
@@ -141,14 +125,14 @@ class Video:
 
     @property
     def segment_count(self) -> int:
-        return len(self._segments)
+        return len(self._all_segments())
 
     def segments(self) -> list[VideoSegment]:
-        return list(self._segments)
+        return list(self._all_segments())
 
     def segments_between(self, start: int, end: int) -> Iterator[VideoSegment]:
         """Segments overlapping frame range ``[start, end)``, clipped."""
-        for segment in self._segments:
+        for segment in self._all_segments():
             if segment.end <= start:
                 continue
             if segment.start >= end:
@@ -169,10 +153,11 @@ class Video:
         return self._segment_for(frame_index).digest
 
     def _segment_for(self, frame_index: int) -> VideoSegment:
-        lo, hi = 0, len(self._segments) - 1
+        segments = self._all_segments()
+        lo, hi = 0, len(segments) - 1
         while lo <= hi:
             mid = (lo + hi) // 2
-            segment = self._segments[mid]
+            segment = segments[mid]
             if frame_index < segment.start:
                 hi = mid - 1
             elif frame_index >= segment.end:

@@ -10,6 +10,7 @@ the core is the mechanism, the scheduler the policy.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from typing import Callable
 
@@ -41,7 +42,11 @@ class CpuCore:
         self._time_in_state: dict[int, int] = defaultdict(int)
         self._transitions = 0
         self._cycles_retired = 0.0
-        self._busy_trace: list[tuple[int, int]] | None = None
+        # Busy intervals accumulate as two parallel int64 arrays (16 B per
+        # interval): a day-long replay logs ~half a million of them, and
+        # boxed (start, end) tuples would dominate the run's memory.
+        self._busy_starts: array | None = None
+        self._busy_ends: array | None = None
         self._busy_listeners: list[Callable[[], None]] = []
         self._idle_listeners: list[Callable[[], None]] = []
 
@@ -134,18 +139,29 @@ class CpuCore:
 
     def enable_busy_trace(self) -> None:
         """Record (start, end) busy intervals for oracle composition."""
-        if self._busy_trace is None:
-            self._busy_trace = []
+        if self._busy_starts is None:
+            self._busy_starts = array("q")
+            self._busy_ends = array("q")
 
     def busy_trace(self) -> list[tuple[int, int]]:
         """Recorded busy intervals, closing any open one at 'now'."""
-        if self._busy_trace is None:
+        return self.busy_pairs().tolist()
+
+    def busy_pairs(self):
+        """The recorded intervals as compact :class:`~repro.results.
+        IntPairs`, closing any open interval at 'now' — the O(1)-boxing
+        form the run record stores."""
+        from repro.results.pairs import IntPairs
+
+        if self._busy_starts is None:
             raise SimulationError("busy trace was not enabled on this core")
-        trace = list(self._busy_trace)
+        starts = array("q", self._busy_starts)
+        ends = array("q", self._busy_ends)
         if self._busy and self._busy_since is not None:
             if self._clock.now > self._busy_since:
-                trace.append((self._busy_since, self._clock.now))
-        return trace
+                starts.append(self._busy_since)
+                ends.append(self._clock.now)
+        return IntPairs.from_arrays(starts, ends)
 
     # --- state changes ----------------------------------------------------------
 
@@ -192,6 +208,7 @@ class CpuCore:
             elapsed = now - self._busy_since
             self._busy_total += elapsed
             self._cycles_retired += elapsed * (self._freq_khz / 1_000.0)
-            if self._busy_trace is not None and elapsed > 0:
-                self._busy_trace.append((self._busy_since, now))
+            if self._busy_starts is not None and elapsed > 0:
+                self._busy_starts.append(self._busy_since)
+                self._busy_ends.append(now)
             self._busy_since = now

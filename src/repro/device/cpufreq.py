@@ -8,6 +8,7 @@ profiles (the paper's Fig. 3).
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable
@@ -49,16 +50,15 @@ class CpuFreqPolicy:
             raise GovernorError(
                 f"policy min {self._min_khz} above max {self._max_khz}"
             )
-        # The trace is stored as plain (timestamp, freq_khz) pairs plus a
-        # parallel timestamp list for bisect: governor-heavy day-long
-        # replays log hundreds of thousands of transitions, and a frozen
-        # dataclass per append would dominate the set_target path.  The
+        # The trace accumulates as two parallel int64 arrays (timestamps
+        # for bisect, frequencies alongside): governor-heavy day-long
+        # replays log hundreds of thousands of transitions, and boxed
+        # tuples — let alone a frozen dataclass per append — would
+        # dominate the run's memory and the set_target path.  The
         # ``transitions`` property materialises FrequencyTransition
         # objects for read-side callers.
-        self._trans_pairs: list[tuple[int, int]] = [
-            (clock.now, core.frequency_khz)
-        ]
-        self._transition_times: list[int] = [clock.now]
+        self._trans_times: array = array("q", [clock.now])
+        self._trans_freqs: array = array("q", [core.frequency_khz])
         self._observers: list[Callable[[int, int], None]] = []
 
     @property
@@ -82,12 +82,21 @@ class CpuFreqPolicy:
         """The frequency trace: every transition with its timestamp."""
         return [
             FrequencyTransition(timestamp, freq_khz)
-            for timestamp, freq_khz in self._trans_pairs
+            for timestamp, freq_khz in zip(self._trans_times, self._trans_freqs)
         ]
 
     def transition_pairs(self) -> list[tuple[int, int]]:
         """The trace as raw ``(timestamp, freq_khz)`` pairs (no wrappers)."""
-        return list(self._trans_pairs)
+        return list(zip(self._trans_times, self._trans_freqs))
+
+    def transition_points(self):
+        """The trace as compact :class:`~repro.results.IntPairs` — the
+        form the run record stores (16 bytes per transition)."""
+        from repro.results.pairs import IntPairs
+
+        return IntPairs.from_arrays(
+            array("q", self._trans_times), array("q", self._trans_freqs)
+        )
 
     def add_transition_observer(
         self, observer: Callable[[int, int], None]
@@ -129,8 +138,8 @@ class CpuFreqPolicy:
         if resolved != core._freq_khz:
             core.set_frequency(resolved)
             timestamp = self._clock._now
-            self._trans_pairs.append((timestamp, resolved))
-            self._transition_times.append(timestamp)
+            self._trans_times.append(timestamp)
+            self._trans_freqs.append(resolved)
             for observer in self._observers:
                 observer(timestamp, resolved)
         return resolved
@@ -142,7 +151,7 @@ class CpuFreqPolicy:
         a whole run (oracle profiles, energy overlays) stay linear overall
         instead of quadratic in the transition count.
         """
-        index = bisect_right(self._transition_times, timestamp)
+        index = bisect_right(self._trans_times, timestamp)
         if index == 0:
-            return self._trans_pairs[0][1]
-        return self._trans_pairs[index - 1][1]
+            return self._trans_freqs[0]
+        return self._trans_freqs[index - 1]

@@ -31,7 +31,8 @@ from repro.fleet.cache import ResultCache
 from repro.fleet.engine import FleetEngine, ProgressHook
 from repro.fleet.spec import RunSpec, group_results_by_config
 from repro.governors.config import canonical_config
-from repro.harness.experiment import RunResult, WorkloadArtifacts
+from repro.harness.experiment import WorkloadArtifacts
+from repro.results import RunRecord
 from repro.harness.sweep import compose_oracle_from_runs, fixed_configs
 from repro.metrics.hci import HciModel
 from repro.oracle.builder import OracleResult
@@ -155,7 +156,7 @@ class ExploreEvaluator:
             for rep in range(reps)
         ]
 
-    def _run(self, specs: list[RunSpec]) -> list[RunResult]:
+    def _run(self, specs: list[RunSpec]) -> list[RunRecord]:
         results = self._engine.run(self.artifacts, specs)
         self.replays_executed += self._engine.last_stats.executed
         self.cache_hits += self._engine.last_stats.cache_hits

@@ -1,18 +1,23 @@
-"""Content-addressed on-disk cache of run results.
+"""Content-addressed on-disk cache of run records.
 
-A cache entry is keyed by a SHA-256 over (cache format version, workload
-fingerprint, spec identity).  The fingerprint hashes the recorded
-artifacts themselves — trace, annotation database, duration, recording
-seed — so editing a dataset plan, changing the recorder, or re-recording
-with a different master seed all invalidate exactly the affected cells
-and nothing else.  Entries are immutable once written: a warm re-run of a
-study loads every completed cell and executes only invalidated ones.
+A cache entry is keyed by a SHA-256 over (cache format version, RunRecord
+schema version, code fingerprint, workload fingerprint, spec identity).
+The fingerprint hashes the recorded artifacts themselves — trace,
+annotation database, duration, recording seed — so editing a dataset
+plan, changing the recorder, or re-recording with a different master seed
+all invalidate exactly the affected cells and nothing else.  Entries are
+immutable once written: a warm re-run of a study loads every completed
+cell and executes only invalidated ones.
 
-Values are stored as pickles under ``<root>/<aa>/<key>.pkl`` (two-level
-fan-out keeps directories small) and written atomically via a temp file
-and :func:`os.replace`, so a crashed or concurrent writer can never leave
-a truncated entry a later reader would trust.  Unreadable entries are
-treated as misses.
+Values are stored as canonical :class:`~repro.results.RunRecord` JSON
+rows under ``<root>/<aa>/<key>.json`` (two-level fan-out keeps
+directories small) — the same schema-versioned wire format fleet workers
+ship over IPC, not pickles, so a cache entry is inspectable with any JSON
+tool and can never execute code on load.  Rows are written atomically via
+a temp file and :func:`os.replace`, so a crashed or concurrent writer can
+never leave a truncated entry a later reader would trust.  Unreadable
+rows — including rows carrying an older ``schema_version`` — are treated
+as misses and re-executed.
 """
 
 from __future__ import annotations
@@ -25,11 +30,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.fleet.spec import RunSpec
+from repro.results import RUN_RECORD_SCHEMA_VERSION, RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.harness.experiment import RunResult, WorkloadArtifacts
+    from repro.harness.experiment import WorkloadArtifacts
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2  # v2: RunRecord JSON rows replaced RunResult pickles
 _PICKLE_PROTOCOL = 4  # fixed so fingerprints are stable across interpreters
 
 _CODE_FINGERPRINT: str | None = None
@@ -75,7 +81,7 @@ def workload_fingerprint(artifacts: "WorkloadArtifacts") -> str:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`RunResult` pickles."""
+    """Content-addressed store of :class:`RunRecord` JSON rows."""
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -84,38 +90,37 @@ class ResultCache:
 
     def key_for(self, spec: RunSpec, fingerprint: str) -> str:
         payload = (
-            f"v{CACHE_VERSION}|{code_fingerprint()}|{fingerprint}|"
-            f"{spec.cache_token()}"
+            f"v{CACHE_VERSION}|rr{RUN_RECORD_SCHEMA_VERSION}|"
+            f"{code_fingerprint()}|{fingerprint}|{spec.cache_token()}"
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> "RunResult | None":
-        """The cached result for ``key``, or None (counting a miss)."""
+    def load(self, key: str) -> "RunRecord | None":
+        """The cached record for ``key``, or None (counting a miss)."""
         path = self.path_for(key)
         try:
-            with path.open("rb") as handle:
-                result = pickle.load(handle)
+            record = RunRecord.loads(path.read_text(encoding="utf-8"))
         except Exception:
-            # Missing, truncated, or written by an incompatible version
-            # (unpickling can raise nearly anything, e.g. ImportError for
-            # a relocated class): a miss either way — the cell re-executes.
+            # Missing, truncated, not JSON, or a row written under a
+            # different RunRecord schema version: a miss either way — the
+            # cell re-executes.
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return record
 
-    def store(self, key: str, result: "RunResult") -> None:
+    def store(self, key: str, record: "RunRecord") -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=_PICKLE_PROTOCOL)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(record.dumps())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -130,4 +135,4 @@ class ResultCache:
     def entry_count(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,7 +1,8 @@
 """The fleet executor: parallel, cache-aware dispatch of run specs.
 
 One :class:`FleetEngine` turns a list of :class:`RunSpec` into the same
-ordered list of :class:`RunResult` the serial loop produced, but
+ordered list of :class:`~repro.results.RunRecord` the serial loop
+produced, but
 
 * **parallel** — specs are chunked across a :mod:`multiprocessing` pool of
   simulated devices; each worker receives the recorded artifacts once (at
@@ -10,6 +11,10 @@ ordered list of :class:`RunResult` the serial loop produced, but
   alone, and results are merged back in spec order, so output is
   bit-identical to the serial path regardless of worker count or
   completion order,
+* **typed IPC** — a worker ships its result home as the schema-versioned
+  :class:`RunRecord` JSON row (the same wire format the cache stores),
+  never as a pickled object graph, so the inline path, the pool path and
+  the cache all carry the identical compact shape,
 * **cache-aware** — with a :class:`~repro.fleet.cache.ResultCache`, cells
   whose content address (spec + workload fingerprint) is already stored
   are served without executing, and fresh results are stored on the way
@@ -30,9 +35,10 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from repro.core.errors import ReproError
 from repro.fleet.cache import ResultCache, workload_fingerprint
 from repro.fleet.spec import RunSpec
+from repro.results import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - harness imports fleet; break the cycle
-    from repro.harness.experiment import RunResult, WorkloadArtifacts
+    from repro.harness.experiment import WorkloadArtifacts
 
 ProgressHook = Callable[[RunSpec, bool], None]
 
@@ -79,7 +85,7 @@ class FleetStats:
         )
 
 
-def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> "RunResult":
+def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> RunRecord:
     """Run one spec to completion on a fresh simulated device."""
     from repro.harness.experiment import replay_run
 
@@ -104,10 +110,13 @@ def _init_worker(artifacts: WorkloadArtifacts | None) -> None:
 
 def _run_in_worker(
     item: tuple[int, RunSpec],
-) -> tuple[int, RunResult | None, WorkerFailure | None]:
+) -> tuple[int, dict | None, WorkerFailure | None]:
+    """Execute one cell; the result crosses the process boundary as the
+    schema-versioned :class:`RunRecord` JSON row, not a pickled object."""
     index, spec = item
     try:
-        return index, execute_spec(_WORKER_ARTIFACTS, spec), None
+        record = execute_spec(_WORKER_ARTIFACTS, spec)
+        return index, record.to_json_dict(), None
     except Exception as exc:  # shipped home; the pool must not die
         failure = WorkerFailure(
             spec=spec,
@@ -140,11 +149,11 @@ class FleetEngine:
 
     def run(
         self, artifacts: WorkloadArtifacts, specs: list[RunSpec]
-    ) -> list[RunResult]:
-        """Execute ``specs`` and return results in spec order."""
+    ) -> list[RunRecord]:
+        """Execute ``specs`` and return records in spec order."""
         stats = FleetStats(total=len(specs))
         self.last_stats = stats
-        results: dict[int, RunResult] = {}
+        results: dict[int, RunRecord] = {}
         keys: dict[int, str] = {}
         pending: list[tuple[int, RunSpec]] = []
 
@@ -164,16 +173,17 @@ class FleetEngine:
             pending = list(enumerate(specs))
 
         failures: list[WorkerFailure] = []
-        for index, result, failure in self._execute(artifacts, pending):
+        for index, row, failure in self._execute(artifacts, pending):
             spec = specs[index]
             if failure is not None:
                 failures.append(failure)
                 stats.failures += 1
                 continue
-            results[index] = result
+            record = RunRecord.from_json_dict(row)
+            results[index] = record
             stats.executed += 1
             if self.cache is not None:
-                self.cache.store(keys[index], result)
+                self.cache.store(keys[index], record)
                 stats.stored += 1
             self._report(spec, cached=False)
 
@@ -198,7 +208,7 @@ class FleetEngine:
         self,
         artifacts: WorkloadArtifacts,
         pending: list[tuple[int, RunSpec]],
-    ) -> Iterable[tuple[int, RunResult | None, WorkerFailure | None]]:
+    ) -> Iterable[tuple[int, dict | None, WorkerFailure | None]]:
         if not pending:
             return
         jobs = min(self.jobs, len(pending))

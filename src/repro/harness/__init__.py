@@ -8,9 +8,11 @@ from repro.harness.experiment import (
     replay_run,
 )
 from repro.harness.sweep import SweepResult, governor_configs, run_sweep, sweep_configs
+from repro.results import RunRecord
 
 __all__ = [
     "RECORDING_FREQ_KHZ",
+    "RunRecord",
     "RunResult",
     "WorkloadArtifacts",
     "record_workload",

@@ -10,26 +10,32 @@ candidates.
 ``replay_run`` is part B, repeatable at will: replay the trace under any
 governor or fixed frequency, film the screen, and let the matcher produce
 the lag profile — plus the energy/frequency/busy traces the study needs.
+By default the run *streams*: frames flow through the online matcher and
+are released as annotation windows close, and the device accumulates its
+traces compactly, so a replay costs O(active-window) memory instead of
+O(session).  ``REPRO_STREAM=0`` restores the batch
+materialise-then-analyze path; output is bit-identical either way.  The
+result is a schema-versioned :class:`~repro.results.RunRecord` — the one
+shape results take across fleet IPC and the result cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis import AnnotationDatabase, AutoAnnotator, Matcher
+from repro.analysis import AnnotationDatabase, AutoAnnotator, Matcher, OnlineMatcher
 from repro.analysis.classify import InputClassification, classify_workload
-from repro.analysis.lagprofile import LagProfile
 from repro.apps import install_standard_apps
 from repro.apps.services import BackgroundServices
-from repro.capture import CaptureCard
-from repro.core.errors import WorkloadError
+from repro.capture import CaptureCard, stream_enabled
+from repro.core.errors import ReproError, WorkloadError
 from repro.core.rng import RngStreams
 from repro.core.simtime import seconds
 from repro.device.device import Device, DeviceConfig
 from repro.metrics.hci import SHNEIDERMAN_MODEL, HciModel
-from repro.oracle.builder import BusyTimeline
 from repro.replay import GeteventRecorder, ReplayAgent
 from repro.replay.trace import EventTrace
+from repro.results import RunRecord
 from repro.scenarios.profiles import device_config_for
 from repro.uifw.view import WindowManager
 from repro.workloads.datasets import DatasetSpec, check_recording
@@ -109,8 +115,18 @@ class WorkloadArtifacts:
         )
 
     @classmethod
-    def load(cls, directory) -> "WorkloadArtifacts":
-        """Load artifacts previously written by :meth:`save`."""
+    def load(
+        cls, directory, verify_classification: bool = False
+    ) -> "WorkloadArtifacts":
+        """Load artifacts previously written by :meth:`save`.
+
+        The classification row is read straight from ``meta.json`` —
+        re-running the full gesture decode over the trace on every load
+        is wasted work the recording already paid for.  Pass
+        ``verify_classification=True`` to recompute it anyway and fail
+        loudly if the saved row no longer matches (e.g. the classifier
+        changed since the artifacts were written).
+        """
         import json
         from pathlib import Path
 
@@ -121,7 +137,26 @@ class WorkloadArtifacts:
         trace = EventTrace.load(directory / "trace.getevent")
         database = AnnotationDatabase.load(directory / "annotations")
         spec = dataset_lookup(meta["dataset"])
-        classification = classify_workload(meta["dataset"], trace, database)
+        saved_row = meta.get("classification")
+        if saved_row is None or verify_classification:
+            recomputed = classify_workload(meta["dataset"], trace, database)
+        if saved_row is None:
+            classification = recomputed
+        else:
+            classification = InputClassification(
+                dataset=saved_row["dataset"],
+                taps=saved_row["taps"],
+                swipes=saved_row["swipes"],
+                actual_lags=saved_row["actual_lags"],
+                spurious_lags=saved_row["spurious_lags"],
+            )
+            if verify_classification and classification != recomputed:
+                raise WorkloadError(
+                    f"saved classification of {meta['dataset']!r} "
+                    f"({classification.as_row()}) does not match "
+                    f"recomputation ({recomputed.as_row()}); re-record or "
+                    "re-save the artifacts"
+                )
         return cls(
             spec=spec,
             trace=trace,
@@ -132,23 +167,9 @@ class WorkloadArtifacts:
         )
 
 
-@dataclass(slots=True)
-class RunResult:
-    """One workload execution under one configuration."""
-
-    workload: str
-    config: str
-    rep: int
-    duration_us: int
-    energy_j: float
-    dynamic_energy_j: float
-    busy_us: int
-    transitions: list[tuple[int, int]]
-    lag_profile: LagProfile
-    busy_timeline: BusyTimeline
-
-    def irritation_seconds(self, model: HciModel | None = None) -> float:
-        return self.lag_profile.irritation(model).total_seconds
+# The typed run artifact now lives in repro.results; the old name stays
+# importable for callers written against the pre-streaming API.
+RunResult = RunRecord
 
 
 def record_workload(
@@ -220,17 +241,33 @@ def replay_run(
     rep: int = 0,
     master_seed: int = DEFAULT_MASTER_SEED,
     device_config: DeviceConfig | None = None,
+    frame_tap=None,
     on_video=None,
     **governor_tunables,
-) -> RunResult:
+) -> RunRecord:
     """Replay a recorded workload under a configuration (part B).
 
     ``config`` is a governor name (``ondemand``, ``conservative``,
     ``interactive``, …) or ``fixed:<khz>`` for one of the 14 operating
-    points.  ``on_video``, if given, receives the captured
-    :class:`~repro.capture.video.Video` before matching — the
-    golden-equivalence tests digest the frame journal through it.
+    points.
+
+    By default the run streams: captured frames flow through the online
+    matcher as the replay executes and are released once their annotation
+    windows close, so memory stays O(active-window) instead of
+    O(session).  ``REPRO_STREAM=0`` restores the batch path (materialise
+    a full video, match post-hoc); output is bit-identical either way.
+
+    ``frame_tap``, if given, is a :class:`~repro.capture.stream.FrameTap`
+    subscribed to the capture — the golden-equivalence tests digest the
+    frame journal through one without forcing video materialisation.
     """
+    if on_video is not None:
+        raise ReproError(
+            "replay_run(on_video=...) was removed by the streaming run "
+            "pipeline: no Video is materialised on the default path. "
+            "Pass frame_tap=<FrameTap> to observe the capture's segment "
+            "stream instead (identical in streaming and batch modes)."
+        )
     streams = RngStreams(master_seed).fork(
         f"replay:{artifacts.name}:{config}:{rep}"
     )
@@ -243,16 +280,24 @@ def replay_run(
     agent = ReplayAgent(device.engine, device.input_subsystem)
     agent.schedule(artifacts.trace)
     card = CaptureCard(device.display)
-    card.start(device.engine.now)
+    streaming = stream_enabled()
+    online: OnlineMatcher | None = None
+    if streaming:
+        online = OnlineMatcher(artifacts.database)
+        card.add_tap(online)
+    if frame_tap is not None:
+        card.add_tap(frame_tap)
+    card.start(device.engine.now, streaming=streaming)
 
     run_window = artifacts.duration_us + RUN_TAIL_US
     device.run_for(run_window)
 
     video = card.stop(device.engine.now)
-    if on_video is not None:
-        on_video(video)
-    profile = Matcher(artifacts.database).match(video)
-    return RunResult(
+    if streaming:
+        profile = online.profile()
+    else:
+        profile = Matcher(artifacts.database).match(video)
+    return RunRecord(
         workload=artifacts.name,
         config=config,
         rep=rep,
@@ -260,7 +305,7 @@ def replay_run(
         energy_j=device.cpu.energy_joules(),
         dynamic_energy_j=device.cpu.dynamic_energy_joules(),
         busy_us=device.cpu.busy_time_total(),
-        transitions=device.policy.transition_pairs(),
-        lag_profile=profile,
-        busy_timeline=BusyTimeline(device.cpu.busy_trace()),
+        transitions=device.policy.transition_points(),
+        busy_intervals=device.cpu.busy_pairs(),
+        lags=profile.lags,
     )

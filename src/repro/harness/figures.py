@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.errors import ReproError
 from repro.core.simtime import seconds
-from repro.harness.experiment import RunResult, WorkloadArtifacts
+from repro.harness.experiment import WorkloadArtifacts
 from repro.harness.sweep import GOVERNORS, SweepResult, config_label
 from repro.metrics.distribution import DistributionSummary, summarize_lags
 from repro.oracle.profile import FrequencyProfile

@@ -28,7 +28,8 @@ from repro.fleet.spec import (
     enumerate_sweep_specs,
     group_results_by_config,
 )
-from repro.harness.experiment import RunResult, WorkloadArtifacts
+from repro.harness.experiment import WorkloadArtifacts
+from repro.results import RunRecord
 from repro.metrics.hci import HciModel
 from repro.oracle.builder import OracleResult, build_oracle
 
@@ -131,7 +132,7 @@ class SweepResult:
     """All runs of one workload plus the composed oracle."""
 
     workload: str
-    runs: dict[str, list[RunResult]]
+    runs: dict[str, list[RunRecord]]
     oracle: OracleResult
     table: FrequencyTable
 
@@ -162,7 +163,7 @@ class SweepResult:
             durations.extend(result.lag_profile.durations_ms())
         return durations
 
-    def _results(self, config: str) -> list[RunResult]:
+    def _results(self, config: str) -> list[RunRecord]:
         try:
             results = self.runs[config]
         except KeyError:
@@ -239,7 +240,7 @@ def run_sweep(
 
 def compose_oracle_from_runs(
     artifacts: WorkloadArtifacts,
-    runs: dict[str, list[RunResult]],
+    runs: dict[str, list[RunRecord]],
     table: FrequencyTable | None = None,
     power_model: PowerModel | None = None,
 ) -> OracleResult:

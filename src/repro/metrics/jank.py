@@ -84,7 +84,7 @@ def analyze_jank(
     """Count fully-busy (dropped) vsync intervals over a run.
 
     Args:
-        busy: the run's busy timeline (``RunResult.busy_timeline``).
+        busy: the run's busy timeline (``RunRecord.busy_timeline``).
         duration_us: run length.
         lag_profile: optional; when given, per-lag jank is reported for
             the windows the user was actually watching.

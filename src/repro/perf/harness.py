@@ -113,6 +113,8 @@ def _run_policy_queries() -> BenchResult:
 
 
 def _replay_cells(name: str, dataset_name: str, configs) -> BenchResult:
+    import tracemalloc
+
     from repro.harness.experiment import record_workload, replay_run
     from repro.workloads.datasets import dataset
 
@@ -120,6 +122,7 @@ def _replay_cells(name: str, dataset_name: str, configs) -> BenchResult:
     sim_us = 0
     wall = 0.0
     per_config: dict[str, float] = {}
+    peak_kb_max = 0.0
     for config in configs:
         start = time.perf_counter()
         result = replay_run(artifacts, config)
@@ -127,6 +130,22 @@ def _replay_cells(name: str, dataset_name: str, configs) -> BenchResult:
         wall += elapsed
         sim_us += result.duration_us
         per_config[config] = result.duration_us / elapsed
+        # Peak replay memory, on a separate deterministic pass so
+        # tracemalloc's allocation bookkeeping (~2x slowdown) cannot
+        # taint the timed run the throughput gate compares.  Only
+        # replay-time allocations count: the recorded artifacts predate
+        # the trace, so this is the O(session)-vs-O(window) quantity the
+        # streaming pipeline is measured by.
+        tracemalloc.start()
+        try:
+            replay_run(artifacts, config)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        peak_kb = peak / 1024.0
+        per_config[f"mem_peak_kb:{config}"] = peak_kb
+        peak_kb_max = max(peak_kb_max, peak_kb)
+    per_config["mem_peak_kb"] = peak_kb_max
     return BenchResult(
         name=name,
         wall_s=wall,
@@ -217,7 +236,14 @@ def render_results(results: list[BenchResult]) -> str:
         )
         if result.name.startswith("macro"):
             for key in sorted(result.metrics):
-                lines.append(
-                    f"  {key:<20} {result.metrics[key] / 1e6:>10.1f} sim-s/wall-s"
-                )
+                value = result.metrics[key]
+                if key.startswith("mem_peak_kb"):
+                    config = key[len("mem_peak_kb:"):] or "(max)"
+                    lines.append(
+                        f"  {config:<20} {value / 1024:>10.1f} MB peak"
+                    )
+                else:
+                    lines.append(
+                        f"  {key:<20} {value / 1e6:>10.1f} sim-s/wall-s"
+                    )
     return "\n".join(lines)

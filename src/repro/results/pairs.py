@@ -1,0 +1,97 @@
+"""A compact, typed sequence of ``(int, int)`` pairs.
+
+Day-long replays accumulate hundreds of thousands of frequency
+transitions and busy intervals; as Python lists of tuples of boxed ints
+those traces cost ~130 bytes per pair and dominate a run's resident
+memory.  :class:`IntPairs` stores the same data as two parallel
+``array('q')`` buffers — 16 bytes per pair — while still *reading* like a
+list of tuples: iteration yields ``(a, b)`` tuples, indexing and slicing
+work, equality is element-wise.
+
+The device-side accumulators (``CpuCore`` busy trace, ``CpuFreqPolicy``
+transition trace) append into raw arrays during the run and hand the
+result over as ``IntPairs`` without ever boxing a pair; the
+:class:`~repro.results.RunRecord` holds them in this form for its whole
+lifetime.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator
+
+_TYPECODE = "q"  # signed 64-bit: microsecond timestamps and kHz both fit
+
+
+class IntPairs:
+    """An immutable-by-convention sequence of integer pairs."""
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, pairs: "Iterable[tuple[int, int]] | IntPairs" = ()) -> None:
+        if isinstance(pairs, IntPairs):
+            self._a = array(_TYPECODE, pairs._a)
+            self._b = array(_TYPECODE, pairs._b)
+            return
+        a = array(_TYPECODE)
+        b = array(_TYPECODE)
+        for first, second in pairs:
+            a.append(first)
+            b.append(second)
+        self._a = a
+        self._b = b
+
+    @classmethod
+    def from_arrays(cls, a: array, b: array) -> "IntPairs":
+        """Adopt two parallel ``array('q')`` buffers (no copy)."""
+        if len(a) != len(b):
+            raise ValueError(
+                f"parallel arrays disagree in length: {len(a)} != {len(b)}"
+            )
+        pairs = cls.__new__(cls)
+        pairs._a = a
+        pairs._b = b
+        return pairs
+
+    # --- sequence protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self._a, self._b)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(zip(self._a[index], self._b[index]))
+        return (self._a[index], self._b[index])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntPairs):
+            return self._a == other._a and self._b == other._b
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self._a) and all(
+                pair == mine for pair, mine in zip(other, self)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(pair) for pair in self[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"IntPairs([{preview}{suffix}], len={len(self)})"
+
+    # --- views ------------------------------------------------------------------
+
+    def firsts(self) -> array:
+        """The first elements as a live ``array('q')`` (do not mutate)."""
+        return self._a
+
+    def seconds(self) -> array:
+        return self._b
+
+    def to_lists(self) -> list[list[int]]:
+        """JSON form: ``[[a, b], ...]``."""
+        return [[first, second] for first, second in self]
+
+    def tolist(self) -> list[tuple[int, int]]:
+        return list(self)

@@ -1,5 +1,10 @@
 """Persistence tests for workload artifacts (the reusable study artefact)."""
 
+import json
+
+import pytest
+
+from repro.core.errors import WorkloadError
 from repro.harness.experiment import WorkloadArtifacts, replay_run
 
 
@@ -35,3 +40,55 @@ def test_saved_layout_contains_expected_files(tmp_path, artifacts_ds03):
     assert (root / "meta.json").exists()
     assert (root / "annotations" / "meta.json").exists()
     assert (root / "annotations" / "images.npz").exists()
+
+
+def test_load_uses_saved_classification_row(tmp_path, artifacts_ds03, monkeypatch):
+    """Loading must read the classification from meta.json, not re-run the
+    full gesture decode the recording already paid for."""
+    import repro.harness.experiment as experiment
+
+    artifacts_ds03.save(tmp_path / "ds03")
+
+    def boom(*_args, **_kwargs):
+        raise AssertionError("classification was recomputed on load")
+
+    monkeypatch.setattr(experiment, "classify_workload", boom)
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03")
+    assert loaded.classification == artifacts_ds03.classification
+
+
+def test_load_verify_classification_recomputes_and_accepts(
+    tmp_path, artifacts_ds03
+):
+    artifacts_ds03.save(tmp_path / "ds03")
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03", verify_classification=True)
+    assert loaded.classification == artifacts_ds03.classification
+
+
+def test_load_verify_classification_rejects_tampered_row(
+    tmp_path, artifacts_ds03
+):
+    artifacts_ds03.save(tmp_path / "ds03")
+    meta_path = tmp_path / "ds03" / "meta.json"
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["classification"]["taps"] += 1
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    # The silent path serves the (tampered) saved row...
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03")
+    assert loaded.classification.taps == artifacts_ds03.classification.taps + 1
+    # ...the opt-in verification path catches it.
+    with pytest.raises(WorkloadError):
+        WorkloadArtifacts.load(tmp_path / "ds03", verify_classification=True)
+
+
+def test_load_without_saved_row_falls_back_to_recomputation(
+    tmp_path, artifacts_ds03
+):
+    """Artifacts saved before the row existed still load (and classify)."""
+    artifacts_ds03.save(tmp_path / "ds03")
+    meta_path = tmp_path / "ds03" / "meta.json"
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    del meta["classification"]
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    loaded = WorkloadArtifacts.load(tmp_path / "ds03")
+    assert loaded.classification == artifacts_ds03.classification

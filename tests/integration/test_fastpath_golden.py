@@ -18,6 +18,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.capture import FrameDigestTap
 from repro.fleet.engine import FleetEngine
 from repro.fleet.spec import RunSpec
 from repro.harness.experiment import record_workload, replay_run
@@ -62,16 +63,7 @@ def _lag_digest(profile):
     return digest.hexdigest()
 
 
-def _frame_digest(video):
-    digest = hashlib.blake2b(digest_size=16)
-    for segment in video.segments():
-        digest.update(segment.start.to_bytes(8, "big"))
-        digest.update(segment.end.to_bytes(8, "big"))
-        digest.update(segment.digest)
-    return digest.hexdigest()
-
-
-def _cell_digests(result, video=None):
+def _cell_digests(result, frame_tap=None):
     digests = {
         "energy_j": repr(result.energy_j),
         "dynamic_energy_j": repr(result.dynamic_energy_j),
@@ -82,19 +74,17 @@ def _cell_digests(result, video=None):
         "n_transitions": len(result.transitions),
         "lag_digest": _lag_digest(result.lag_profile),
     }
-    if video is not None:
-        digests["frame_digest"] = _frame_digest(video)
+    if frame_tap is not None:
+        digests["frame_digest"] = frame_tap.hexdigest()
     return digests
 
 
 @pytest.mark.parametrize("config", sorted(REFERENCE["cells"]))
 def test_fast_path_matches_seed_reference(artifacts, config):
     """Every study cell reproduces the seed implementation bit for bit."""
-    captured = {}
-    result = replay_run(
-        artifacts, config, on_video=lambda video: captured.update(v=video)
-    )
-    got = _cell_digests(result, captured["v"])
+    tap = FrameDigestTap()
+    result = replay_run(artifacts, config, frame_tap=tap)
+    got = _cell_digests(result, tap)
     want = REFERENCE["cells"][config]
     assert got == want
 
@@ -173,23 +163,15 @@ def test_scenario_digests_match_with_fastpath_off(
     """Per persona: qoe_aware + ondemand digests survive REPRO_FASTPATH=0."""
     artifacts = scenario_artifacts[scenario]
     for config in SCENARIO_GOVERNORS:
-        captured = {}
         monkeypatch.setenv("REPRO_FASTPATH", "1")
+        fast_tap = FrameDigestTap()
         fast = _cell_digests(
-            replay_run(
-                artifacts, config,
-                on_video=lambda video: captured.update(v=video),
-            ),
-            captured["v"],
+            replay_run(artifacts, config, frame_tap=fast_tap), fast_tap
         )
-        captured.clear()
         monkeypatch.setenv("REPRO_FASTPATH", "0")
+        slow_tap = FrameDigestTap()
         slow = _cell_digests(
-            replay_run(
-                artifacts, config,
-                on_video=lambda video: captured.update(v=video),
-            ),
-            captured["v"],
+            replay_run(artifacts, config, frame_tap=slow_tap), slow_tap
         )
         assert fast == slow, (scenario, config)
 
