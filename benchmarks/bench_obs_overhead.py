@@ -1,0 +1,137 @@
+"""Disabled-observability overhead — the zero-overhead-when-off gate.
+
+Every instrumentation site in the simulator is guarded by exactly one
+predicate (``obs = self._obs`` + ``is not None``).  This bench holds the
+subsystem to its contract: with ``REPRO_TRACE`` unset, the total cost of
+those predicates must stay within 1% of a macro replay's wall time.
+
+Raw enabled-vs-disabled wall-clock A/B is too noisy to gate at the 1%
+level (run-to-run jitter on shared CI runners exceeds it), so the gate is
+a *projection*: count how often the guarded sites actually fire during a
+real replay (from an observed run's own counters), measure the cost of
+one predicate in a tight loop, and assert ``hits x cost <= 1% of the
+disabled replay's wall time``.  The raw A/B is printed for context.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.harness.experiment import record_workload, replay_run
+from repro.workloads.datasets import dataset
+
+DATASET = "03"
+CONFIG = "interactive"
+REPLAY_REPEATS = 5
+PREDICATE_LOOPS = 1_000_000
+OVERHEAD_BUDGET = 0.01  # <=1% of macro replay wall time
+
+# Counters incremented once per emit call — i.e. once per time a guarded
+# site actually fired.  (Amount-valued counters like timer.ticks_elided
+# are excluded: they count ticks, not site visits.)
+PER_EMIT_COUNTERS = (
+    "governor.starts",
+    "governor.input_boosts",
+    "timer.parks",
+    "timer.unparks",
+    "cpufreq.transitions",
+    "frames.composed",
+    "match.windows_opened",
+    "match.lags_matched",
+)
+
+
+class _Site:
+    """The exact shape of an instrumented object's disabled hot path."""
+
+    __slots__ = ("_obs",)
+
+    def __init__(self) -> None:
+        self._obs = obs.active()  # None: no session installed
+
+
+def _best_replay_s(artifacts) -> float:
+    best = float("inf")
+    for _ in range(REPLAY_REPEATS):
+        start = time.perf_counter()
+        replay_run(artifacts, CONFIG)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _site_hits(artifacts) -> int:
+    """How often guarded sites fired during one real replay."""
+    session = obs.ObsSession.for_run()
+    with obs.observed(session):
+        record = replay_run(artifacts, CONFIG)
+    counters = record.obs["counters"]
+    hits = sum(counters.get(name, 0) for name in PER_EMIT_COUNTERS)
+    return hits + 1  # + the single segments_streamed call at finalize
+
+
+def _per_predicate_s() -> float:
+    """Cost of one ``self._obs``-load + ``is not None`` test."""
+    site = _Site()
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(PREDICATE_LOOPS):
+        observer = site._obs
+        if observer is not None:
+            sink += 1
+    guarded = time.perf_counter() - start
+    assert sink == 0
+    start = time.perf_counter()
+    for _ in range(PREDICATE_LOOPS):
+        pass
+    empty = time.perf_counter() - start
+    return max(0.0, guarded - empty) / PREDICATE_LOOPS
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return record_workload(dataset(DATASET))
+
+
+def test_disabled_instrumentation_within_one_percent(artifacts):
+    assert obs.active() is None, "bench requires no installed session"
+
+    disabled_s = _best_replay_s(artifacts)
+    hits = _site_hits(artifacts)
+    predicate_s = _per_predicate_s()
+    projected_s = hits * predicate_s
+    ratio = projected_s / disabled_s
+
+    print(f"\nObservability overhead — dataset {DATASET}, {CONFIG}")
+    print(f"  disabled replay (best of {REPLAY_REPEATS}): "
+          f"{disabled_s * 1e3:8.2f} ms")
+    print(f"  guarded sites fired:            {hits:10d}")
+    print(f"  per-predicate cost:             {predicate_s * 1e9:10.1f} ns")
+    print(f"  projected disabled overhead:    {projected_s * 1e6:10.1f} us "
+          f"({100 * ratio:.3f}% of replay)")
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"disabled instrumentation projected at {100 * ratio:.2f}% of macro "
+        f"replay wall time (budget {100 * OVERHEAD_BUDGET:.0f}%)"
+    )
+
+
+def test_enabled_ab_for_context(artifacts, capsys):
+    """Informational: raw enabled-vs-disabled wall times (not gated)."""
+    disabled_s = _best_replay_s(artifacts)
+    best_enabled = float("inf")
+    for _ in range(REPLAY_REPEATS):
+        start = time.perf_counter()
+        with obs.observed(obs.ObsSession.for_run()):
+            replay_run(artifacts, CONFIG)
+        best_enabled = min(best_enabled, time.perf_counter() - start)
+    with capsys.disabled():
+        print(f"\n  enabled (metrics+recorder) replay: "
+              f"{best_enabled * 1e3:8.2f} ms vs disabled "
+              f"{disabled_s * 1e3:8.2f} ms "
+              f"({100 * (best_enabled / disabled_s - 1):+.1f}%)")

@@ -21,6 +21,7 @@ from repro.analysis.diff import build_mask, frames_equal
 from repro.analysis.lagprofile import LagMeasurement, LagProfile
 from repro.capture.stream import FrameTap
 from repro.device.display import VSYNC_PERIOD_US, frame_timestamp
+from repro.obs.session import active as _obs_active
 
 
 class _ScanState:
@@ -67,6 +68,7 @@ class OnlineMatcher(FrameTap):
         self._done: dict[int, LagMeasurement] = {}
         self._start_frame: int | None = None
         self._end_frame: int | None = None
+        self._obs = _obs_active()
 
     # --- FrameTap interface -----------------------------------------------------
 
@@ -90,6 +92,13 @@ class OnlineMatcher(FrameTap):
                 scan.annotation.image.shape, scan.annotation.mask_rects
             )
             self._active.append(scan)
+            obs = self._obs
+            if obs is not None:
+                obs.gesture_window_opened(
+                    scan.annotation.begin_time_us,
+                    scan.annotation.label,
+                    scan.annotation.gesture_index,
+                )
         if not self._active:
             return
         finished: list[_ScanState] | None = None
@@ -152,6 +161,15 @@ class OnlineMatcher(FrameTap):
             threshold_us=annotation.threshold_us,
         )
         scan.mask = None
+        obs = self._obs
+        if obs is not None:
+            obs.lag_window_closed(
+                annotation.begin_time_us,
+                duration,
+                annotation.label,
+                annotation.category,
+                annotation.threshold_us,
+            )
 
     def _raise_unmatched(self, scan: _ScanState) -> None:
         annotation = scan.annotation

@@ -26,10 +26,11 @@ output.
 from __future__ import annotations
 
 import hashlib
-import os
 from typing import TYPE_CHECKING
 
+from repro.core.env import env_flag
 from repro.core.errors import CaptureError
+from repro.obs.session import active as _obs_active
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.capture.video import Frame, VideoSegment
@@ -44,7 +45,7 @@ def stream_enabled() -> bool:
     bit-identical either way; ``REPRO_STREAM=0`` exists for A/B
     verification and as a kill switch.
     """
-    return os.environ.get("REPRO_STREAM", "1") != "0"
+    return env_flag("REPRO_STREAM", default=True)
 
 
 class FrameTap:
@@ -105,6 +106,8 @@ class SegmentStreamer:
         self._pending: list[VideoSegment] = []
         self._taps: list[FrameTap] = []
         self._finalized = False
+        self._obs = _obs_active()
+        self._emitted = 0
 
     @property
     def finalized(self) -> bool:
@@ -194,6 +197,9 @@ class SegmentStreamer:
         self._pending.clear()
         for tap in self._taps:
             tap.on_stop(end_frame_index)
+        obs = self._obs
+        if obs is not None:
+            obs.segments_streamed(self._emitted, end_frame_index)
 
     # --- internals ------------------------------------------------------------
 
@@ -205,6 +211,7 @@ class SegmentStreamer:
             self._emit(self._pending.pop(0))
 
     def _emit(self, segment: "VideoSegment") -> None:
+        self._emitted += 1
         for tap in self._taps:
             tap.on_segment(segment)
 

@@ -105,6 +105,7 @@ class Engine:
         self._running = False
         self._fired = 0
         self._tombstones = 0
+        self._compactions = 0
         self._firing_priority: int | None = None
 
     @property
@@ -116,6 +117,11 @@ class Engine:
     def events_fired(self) -> int:
         """Total number of callbacks executed so far."""
         return self._fired
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the queue was compacted to shed cancellation tombstones."""
+        return self._compactions
 
     @property
     def pending(self) -> int:
@@ -201,6 +207,7 @@ class Engine:
         queue[:] = [entry for entry in queue if not entry[3].cancelled]
         heapq.heapify(queue)
         self._tombstones = 0
+        self._compactions += 1
 
     def run_until(self, end_time: int) -> None:
         """Fire all events up to and including ``end_time``.

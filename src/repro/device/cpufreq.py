@@ -16,6 +16,7 @@ from typing import Callable
 from repro.core.errors import GovernorError
 from repro.core.simtime import SimClock
 from repro.device.cpu import CpuCore
+from repro.obs.session import active as _obs_active
 
 # Relation semantics from the Linux cpufreq API.
 RELATION_LOW = "low"  # highest frequency <= target
@@ -60,6 +61,7 @@ class CpuFreqPolicy:
         self._trans_times: array = array("q", [clock.now])
         self._trans_freqs: array = array("q", [core.frequency_khz])
         self._observers: list[Callable[[int, int], None]] = []
+        self._obs = _obs_active()
 
     @property
     def core(self) -> CpuCore:
@@ -140,6 +142,9 @@ class CpuFreqPolicy:
             timestamp = self._clock._now
             self._trans_times.append(timestamp)
             self._trans_freqs.append(resolved)
+            obs = self._obs
+            if obs is not None:
+                obs.freq_transition(timestamp, resolved)
             for observer in self._observers:
                 observer(timestamp, resolved)
         return resolved

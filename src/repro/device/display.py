@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.engine import PRIORITY_RENDER, Engine
 from repro.core.errors import CaptureError
+from repro.obs.session import active as _obs_active
 
 FRAME_RATE = 30
 VSYNC_PERIOD_US = 33_333  # 1e6 / 30, truncated; the video time base
@@ -47,6 +48,7 @@ class Display:
         self._vsync_scheduled = False
         self._frames_composed = 0
         self._last_composed_index = -1
+        self._obs = _obs_active()
 
     @property
     def frames_composed(self) -> int:
@@ -90,6 +92,9 @@ class Display:
         index = frame_index_at(self._engine.now)
         self._frames_composed += 1
         self._last_composed_index = index
+        obs = self._obs
+        if obs is not None:
+            obs.frame_composed(self._engine.now, index)
         snapshot = self._framebuffer.copy()
         for observer in self._observers:
             observer(index, snapshot)

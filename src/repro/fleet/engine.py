@@ -28,8 +28,11 @@ produced, but
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
 from dataclasses import dataclass, field
+from statistics import median
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.errors import ReproError
@@ -70,19 +73,52 @@ class FleetError(ReproError):
 
 @dataclass(slots=True)
 class FleetStats:
-    """What one :meth:`FleetEngine.run` actually did."""
+    """What one :meth:`FleetEngine.run` actually did.
+
+    ``run_telemetry`` holds one worker-side measurement per *executed*
+    cell — ``{"pid", "wall_s", "cpu_s"}`` — in completion order (cached
+    cells execute nothing and so have none).
+    """
 
     total: int = 0
     cache_hits: int = 0
     executed: int = 0
     stored: int = 0
     failures: int = 0
+    run_telemetry: list[dict] = field(default_factory=list)
 
     def summary(self) -> str:
         return (
             f"{self.total} runs: {self.cache_hits} cached, "
             f"{self.executed} executed"
         )
+
+    def worker_summary(self) -> dict[int, dict]:
+        """Per-worker aggregates: runs, total wall and CPU seconds."""
+        workers: dict[int, dict] = {}
+        for entry in self.run_telemetry:
+            worker = workers.setdefault(
+                entry["pid"], {"runs": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            worker["runs"] += 1
+            worker["wall_s"] += entry["wall_s"]
+            worker["cpu_s"] += entry["cpu_s"]
+        return workers
+
+    def straggler_summary(self) -> dict | None:
+        """Spread of per-run wall times — the straggler signal.
+
+        None when nothing executed (fully cached or empty grids).
+        """
+        walls = [entry["wall_s"] for entry in self.run_telemetry]
+        if not walls:
+            return None
+        return {
+            "runs": len(walls),
+            "max_wall_s": max(walls),
+            "median_wall_s": median(walls),
+            "total_wall_s": sum(walls),
+        }
 
 
 def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> RunRecord:
@@ -110,21 +146,34 @@ def _init_worker(artifacts: WorkloadArtifacts | None) -> None:
 
 def _run_in_worker(
     item: tuple[int, RunSpec],
-) -> tuple[int, dict | None, WorkerFailure | None]:
+) -> tuple[int, dict | None, WorkerFailure | None, dict]:
     """Execute one cell; the result crosses the process boundary as the
-    schema-versioned :class:`RunRecord` JSON row, not a pickled object."""
+    schema-versioned :class:`RunRecord` JSON row, not a pickled object.
+
+    The fourth element is the worker's telemetry for this cell — its pid
+    plus wall and CPU seconds spent — measured here so the numbers cover
+    exactly the replay, not pool scheduling or IPC.
+    """
     index, spec = item
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     try:
         record = execute_spec(_WORKER_ARTIFACTS, spec)
-        return index, record.to_json_dict(), None
+        row, failure = record.to_json_dict(), None
     except Exception as exc:  # shipped home; the pool must not die
+        row = None
         failure = WorkerFailure(
             spec=spec,
             exc_type=type(exc).__name__,
             message=str(exc),
             traceback_text=traceback.format_exc(),
         )
-        return index, None, failure
+    telemetry = {
+        "pid": os.getpid(),
+        "wall_s": time.perf_counter() - wall_start,
+        "cpu_s": time.process_time() - cpu_start,
+    }
+    return index, row, failure, telemetry
 
 
 # --- parent side ------------------------------------------------------------------
@@ -173,8 +222,9 @@ class FleetEngine:
             pending = list(enumerate(specs))
 
         failures: list[WorkerFailure] = []
-        for index, row, failure in self._execute(artifacts, pending):
+        for index, row, failure, telemetry in self._execute(artifacts, pending):
             spec = specs[index]
+            stats.run_telemetry.append(telemetry)
             if failure is not None:
                 failures.append(failure)
                 stats.failures += 1
@@ -185,8 +235,9 @@ class FleetEngine:
             if self.cache is not None:
                 self.cache.store(keys[index], record)
                 stats.stored += 1
-            self._report(spec, cached=False)
+            self._report(spec, cached=False, telemetry=telemetry)
 
+        self._report_summary(stats)
         if failures:
             failures.sort(key=lambda f: f.spec.label())
             raise FleetError(failures)
@@ -208,7 +259,7 @@ class FleetEngine:
         self,
         artifacts: WorkloadArtifacts,
         pending: list[tuple[int, RunSpec]],
-    ) -> Iterable[tuple[int, dict | None, WorkerFailure | None]]:
+    ) -> Iterable[tuple[int, dict | None, WorkerFailure | None, dict]]:
         if not pending:
             return
         jobs = min(self.jobs, len(pending))
@@ -232,6 +283,29 @@ class FleetEngine:
                 _run_in_worker, pending, chunksize=chunksize
             )
 
-    def _report(self, spec: RunSpec, cached: bool) -> None:
-        if self.progress is not None:
-            self.progress(spec, cached)
+    def _report(
+        self, spec: RunSpec, cached: bool, telemetry: dict | None = None
+    ) -> None:
+        """Feed one completion to the progress hook.
+
+        A :class:`~repro.fleet.progress.ProgressReporter` (anything with
+        an ``observe`` method) receives the worker telemetry too; a plain
+        ``(spec, cached)`` callable — the explorer's hook, test doubles —
+        keeps its original signature.
+        """
+        progress = self.progress
+        if progress is None:
+            return
+        observe = getattr(progress, "observe", None)
+        if observe is not None:
+            observe(spec, cached=cached, telemetry=telemetry)
+        else:
+            progress(spec, cached)
+
+    def _report_summary(self, stats: FleetStats) -> None:
+        progress = self.progress
+        if progress is None:
+            return
+        fleet_summary = getattr(progress, "fleet_summary", None)
+        if fleet_summary is not None:
+            fleet_summary(stats, self.cache)

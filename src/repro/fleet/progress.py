@@ -1,4 +1,4 @@
-"""Aggregated progress and ETA reporting for fleet runs.
+"""Aggregated progress, ETA and machine-readable telemetry for fleet runs.
 
 The old CLI callback printed one unbuffered line per run with no sense of
 scale; on an 85-run sweep the user could not tell 5% from 95% done.  A
@@ -8,29 +8,66 @@ and then observes completions (from any worker, in any order), printing
 ETA extrapolated from completed runs, and a ``[cached]`` marker for cells
 served from the result cache.  Every line is flushed so progress is
 visible through pipes and log files.
+
+Fleet telemetry (``--progress-jsonl PATH``)
+-------------------------------------------
+
+Alongside the human lines the reporter can stream JSON-lines events to a
+second file: one ``grid_bound`` event when the spec list is learned, a
+``run_completed`` event per observation (with the worker's pid, wall and
+CPU seconds when the run executed), rate-limited ``heartbeat`` events
+with per-worker aggregates, and one final ``fleet_summary`` with cache
+hit/miss counts and straggler statistics.  Events carry a monotonically
+increasing ``seq`` so a consumer can detect truncation; everything is
+plain JSON, one object per line, append-only.
+
+All human output goes to ``stream`` (stderr by default) and all telemetry
+to ``jsonl_stream`` — never stdout, which belongs to study results and is
+pinned byte-identical by the integration tests.  ``clock`` is injectable
+so the ETA and heartbeat logic is testable without sleeping.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from typing import TextIO
 
 from repro.fleet.spec import RunSpec
 
+#: Seconds between heartbeat events on the JSONL stream.
+DEFAULT_HEARTBEAT_S = 30.0
+
 
 class ProgressReporter:
     """Streamed ``done/total`` + ETA lines over an enumerated spec list."""
 
-    def __init__(self, label: str, stream: TextIO | None = None) -> None:
+    def __init__(
+        self,
+        label: str,
+        stream: TextIO | None = None,
+        jsonl_stream: TextIO | None = None,
+        human: bool = True,
+        clock=time.monotonic,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ) -> None:
         self.label = label
         self._stream = stream
+        self._jsonl = jsonl_stream
+        self._human = human
+        self._clock = clock
+        self._heartbeat_s = heartbeat_s
         self._config_index: dict[str, int] = {}
         self._reps = 0
         self._total = 0
         self._done = 0
         self._cached = 0
         self._started_at: float | None = None
+        self._seq = 0
+        self._last_heartbeat: float | None = None
+        # pid -> {"runs": int, "wall_s": float, "cpu_s": float}
+        self._workers: dict[int, dict] = {}
 
     def bind(self, specs: list[RunSpec]) -> "ProgressReporter":
         """Learn the grid shape; called by the sweep before dispatch."""
@@ -42,7 +79,16 @@ class ProgressReporter:
         self._total = len(specs)
         self._done = 0
         self._cached = 0
-        self._started_at = time.monotonic()
+        self._started_at = self._clock()
+        self._emit_jsonl(
+            {
+                "event": "grid_bound",
+                "label": self.label,
+                "total": self._total,
+                "configs": len(self._config_index),
+                "reps": self._reps,
+            }
+        )
         return self
 
     @property
@@ -54,14 +100,25 @@ class ProgressReporter:
         return self._cached
 
     def __call__(self, spec: RunSpec, cached: bool = False) -> None:
+        """Back-compat callable form of :meth:`observe` (no telemetry)."""
+        self.observe(spec, cached=cached)
+
+    def observe(
+        self,
+        spec: RunSpec,
+        cached: bool = False,
+        telemetry: dict | None = None,
+    ) -> None:
         """Observe one completed run (the engine's progress hook).
 
         An unbound reporter (used directly as an engine hook without a
         spec list) grows its totals as observations arrive instead of
-        claiming a grid shape it doesn't know.
+        claiming a grid shape it doesn't know.  ``telemetry`` is the
+        worker-side measurement of an executed run (``pid``, ``wall_s``,
+        ``cpu_s``); cached cells have none.
         """
         if self._started_at is None:
-            self._started_at = time.monotonic()
+            self._started_at = self._clock()
         self._done += 1
         if cached:
             self._cached += 1
@@ -71,22 +128,109 @@ class ProgressReporter:
             self._config_index.setdefault(spec.config, len(self._config_index))
             + 1
         )
-        line = (
-            f"  {self.label}: {spec.config} "
-            f"(config {config_pos}/{max(1, len(self._config_index))}, "
-            f"rep {spec.rep + 1}/{max(1, self._reps)}) — "
-            f"{self._done}/{self._total} runs{self._eta_suffix()}"
-        )
-        if cached:
-            line += " [cached]"
-        stream = self._stream if self._stream is not None else sys.stderr
-        print(line, file=stream, flush=True)
+        if telemetry is not None:
+            worker = self._workers.setdefault(
+                telemetry["pid"], {"runs": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            worker["runs"] += 1
+            worker["wall_s"] += telemetry["wall_s"]
+            worker["cpu_s"] += telemetry["cpu_s"]
+        if self._human:
+            eta = self.eta_seconds()
+            line = (
+                f"  {self.label}: {spec.config} "
+                f"(config {config_pos}/{max(1, len(self._config_index))}, "
+                f"rep {spec.rep + 1}/{max(1, self._reps)}) — "
+                f"{self._done}/{self._total} runs"
+                + (f", ETA {eta:.0f}s" if eta is not None else "")
+            )
+            if cached:
+                line += " [cached]"
+            stream = self._stream if self._stream is not None else sys.stderr
+            print(line, file=stream, flush=True)
+        event = {
+            "event": "run_completed",
+            "label": self.label,
+            "spec": spec.label(),
+            "config": spec.config,
+            "rep": spec.rep,
+            "cached": cached,
+            "done": self._done,
+            "total": self._total,
+        }
+        if telemetry is not None:
+            event["worker_pid"] = telemetry["pid"]
+            event["wall_s"] = telemetry["wall_s"]
+            event["cpu_s"] = telemetry["cpu_s"]
+        self._emit_jsonl(event)
+        self._maybe_heartbeat()
 
-    def _eta_suffix(self) -> str:
+    def fleet_summary(self, stats, cache=None) -> None:
+        """Emit the end-of-run telemetry summary (JSONL only).
+
+        ``stats`` is the engine's :class:`~repro.fleet.engine.FleetStats`;
+        ``cache``, when given, contributes its session hit/miss counters.
+        """
+        if self._jsonl is None:
+            return
+        event = {
+            "event": "fleet_summary",
+            "label": self.label,
+            "total": stats.total,
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "stored": stats.stored,
+            "failures": stats.failures,
+            "workers": [
+                {"pid": pid, **data}
+                for pid, data in sorted(self._workers.items())
+            ],
+            "stragglers": stats.straggler_summary(),
+        }
+        if self._started_at is not None:
+            event["elapsed_s"] = self._clock() - self._started_at
+        if cache is not None:
+            event["cache"] = {"hits": cache.hits, "misses": cache.misses}
+        self._emit_jsonl(event)
+
+    def eta_seconds(self) -> float | None:
+        """Remaining-time estimate from executed runs, or None."""
         executed = self._done - self._cached
         remaining = self._total - self._done
         if executed <= 0 or remaining <= 0 or self._started_at is None:
-            return ""
-        elapsed = time.monotonic() - self._started_at
-        eta = elapsed / executed * remaining
-        return f", ETA {eta:.0f}s"
+            return None
+        elapsed = self._clock() - self._started_at
+        return elapsed / executed * remaining
+
+    # --- internals ------------------------------------------------------------
+
+    def _maybe_heartbeat(self) -> None:
+        if self._jsonl is None:
+            return
+        now = self._clock()
+        last = self._last_heartbeat
+        if last is not None and now - last < self._heartbeat_s:
+            return
+        self._last_heartbeat = now
+        event = {
+            "event": "heartbeat",
+            "label": self.label,
+            "done": self._done,
+            "total": self._total,
+            "cached": self._cached,
+            "workers": {
+                str(pid): dict(data)
+                for pid, data in sorted(self._workers.items())
+            },
+        }
+        if self._started_at is not None:
+            event["elapsed_s"] = now - self._started_at
+        self._emit_jsonl(event)
+
+    def _emit_jsonl(self, event: dict) -> None:
+        if self._jsonl is None:
+            return
+        event = {"seq": self._seq, **event}
+        self._seq += 1
+        self._jsonl.write(json.dumps(event, sort_keys=True) + "\n")
+        self._jsonl.flush()

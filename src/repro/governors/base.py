@@ -8,17 +8,18 @@ there, as its Linux counterpart does via ``input_handler``).
 
 from __future__ import annotations
 
-import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterable, Type
 
 from repro.core.engine import Engine
+from repro.core.env import env_flag
 from repro.core.errors import GovernorError
 from repro.device.cpufreq import CpuFreqPolicy
 from repro.device.input_device import InputSubsystem
 from repro.device.loadtracker import LoadTracker
 from repro.governors.config import parse_config
+from repro.obs.session import active as _obs_active
 
 
 @dataclass(slots=True)
@@ -47,7 +48,7 @@ def idle_fastpath_enabled() -> bool:
     digests) is bit-identical either way; ``REPRO_FASTPATH=0`` disables it
     for A/B verification and benchmarking.
     """
-    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+    return env_flag("REPRO_FASTPATH", default=True)
 
 
 class TickElisionMixin:
@@ -73,6 +74,7 @@ class TickElisionMixin:
     def _elision_init(self) -> None:
         """Call at construction, after ``self._timer`` exists."""
         self._park_mode = None
+        self._park_started_at = 0
         self._timer.on_elided = self._credit_elided
 
     def _elision_attach(self) -> None:
@@ -97,6 +99,10 @@ class TickElisionMixin:
             self._timer.park()
         else:
             self._timer.park_until(wake_time)
+        obs = self._obs
+        if obs is not None:
+            self._park_started_at = self.context.engine.clock._now
+            obs.timer_parked(self._park_started_at, self.name, mode)
 
     def _on_core_busy(self) -> None:
         if self._park_mode == "idle" or self._park_mode == "hold":
@@ -108,7 +114,17 @@ class TickElisionMixin:
 
     def _credit_elided(self, elided: int, last_tick: int) -> None:
         """A park_until deadline fired: account the elided idle ticks."""
+        mode = self._park_mode
         self._park_mode = None
+        obs = self._obs
+        if obs is not None:
+            obs.timer_unparked(
+                self.context.engine.clock._now,
+                self.name,
+                mode,
+                self._park_started_at,
+                elided,
+            )
         self._account_elided(elided, last_tick, busy_total=None)
 
     def _wake(self) -> None:
@@ -116,6 +132,15 @@ class TickElisionMixin:
         mode = self._park_mode
         self._park_mode = None
         elided, last_tick = self._timer.unpark()
+        obs = self._obs
+        if obs is not None:
+            obs.timer_unparked(
+                self.context.engine.clock._now,
+                self.name,
+                mode,
+                self._park_started_at,
+                elided,
+            )
         if not elided:
             return
         if mode == "busy":
@@ -160,6 +185,9 @@ class Governor(ABC):
     def __init__(self, context: GovernorContext) -> None:
         self.context = context
         self._active = False
+        # One attribute load + None test per instrumentation site: the
+        # whole observability cost when no session is installed.
+        self._obs = _obs_active()
 
     @classmethod
     def from_params(
@@ -200,6 +228,9 @@ class Governor(ABC):
         if self._active:
             raise GovernorError(f"governor {self.name} already started")
         self._active = True
+        obs = self._obs
+        if obs is not None:
+            obs.governor_started(self.context.engine.clock._now, self.name)
         self._on_start()
 
     def stop(self) -> None:

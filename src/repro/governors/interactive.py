@@ -117,6 +117,13 @@ class InteractiveGovernor(TickElisionMixin, Governor):
         policy = self._policy
         if policy.current_khz < self.hispeed_freq_khz:
             self.input_boosts += 1
+            obs = self._obs
+            if obs is not None:
+                obs.input_boost(
+                    self.context.engine.clock._now,
+                    self.name,
+                    self.hispeed_freq_khz,
+                )
             policy.set_target(self.hispeed_freq_khz, RELATION_HIGH)
             self._raise_floor(self.hispeed_freq_khz)
 

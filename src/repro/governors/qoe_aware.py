@@ -103,6 +103,13 @@ class QoeAwareGovernor(TickElisionMixin, Governor):
         self.input_boosts += 1
         self._idle_since = None
         if self.policy.current_khz < self.boost_freq_khz:
+            obs = self._obs
+            if obs is not None:
+                obs.input_boost(
+                    self.context.engine.clock._now,
+                    self.name,
+                    self.boost_freq_khz,
+                )
             self.policy.set_target(self.boost_freq_khz, RELATION_HIGH)
 
     def _sample(self) -> None:

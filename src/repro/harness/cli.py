@@ -17,6 +17,8 @@ Examples::
     repro-qoe perf --suite micro --check
     repro-qoe perf --suite all --profile perf.prof
     repro-qoe perf --suite study --scenario persona=creator,seed=2,duration=2m
+    repro-qoe trace persona=gamer,seed=7,duration=45s -o trace.json
+    repro-qoe sweep --dataset 02 --jobs 4 --progress-jsonl progress.jsonl
 
 Synthesized scenarios (persona/seed/duration/device-profile config
 strings, see the README's Scenarios section) are interchangeable with
@@ -66,9 +68,34 @@ from repro.workloads.datasets import dataset, dataset_names
 DEFAULT_CACHE_DIR = "~/.cache/repro-qoe"
 
 
-def _progress(prefix: str, verbose: bool) -> ProgressReporter | None:
-    """Aggregated, flushed progress lines (``config c/C, rep r/R``)."""
-    return ProgressReporter(prefix) if verbose else None
+def _progress(
+    prefix: str, verbose: bool, jsonl_stream=None
+) -> ProgressReporter | None:
+    """Aggregated, flushed progress lines (``config c/C, rep r/R``).
+
+    With ``jsonl_stream`` the reporter also emits the machine-readable
+    fleet telemetry stream (``--progress-jsonl``); human lines still
+    appear only under ``--verbose``.
+    """
+    if not verbose and jsonl_stream is None:
+        return None
+    return ProgressReporter(prefix, jsonl_stream=jsonl_stream, human=verbose)
+
+
+def _progress_jsonl(args):
+    """The opened ``--progress-jsonl`` handle, or None.
+
+    Caller owns the handle (close in a ``finally``); study shares one
+    handle across its per-workload sweeps so the stream stays a single
+    ordered sequence.
+    """
+    path = getattr(args, "progress_jsonl", None)
+    if not path:
+        return None
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"unusable --progress-jsonl {path}: {exc}") from exc
 
 
 def _positive_int(text: str) -> int:
@@ -90,6 +117,14 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="always re-execute; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--progress-jsonl", default=None, metavar="PATH",
+        help=(
+            "stream machine-readable fleet telemetry (one JSON object per "
+            "line: grid_bound, run_completed, heartbeat, fleet_summary) "
+            "to PATH"
+        ),
     )
 
 
@@ -141,9 +176,11 @@ def _workload_name(args) -> str:
 
 
 def _print_cache_summary(cache: ResultCache | None, stream=None) -> None:
+    """Cache telemetry; defaults to stderr — stdout belongs to study
+    results and is pinned byte-identical by the integration tests."""
     if cache is not None:
         print(f"# cache: {cache.hits} hits, {cache.misses} misses "
-              f"({cache.root})", file=stream or sys.stdout)
+              f"({cache.root})", file=stream or sys.stderr)
 
 
 def cmd_table1(_args) -> int:
@@ -184,16 +221,21 @@ def cmd_sweep(args) -> int:
     table = frequency_table_for(spec)
     configs = _sweep_configs_from_args(args, table)
     artifacts = record_workload(spec, master_seed=seed)
-    sweep = run_sweep(
-        artifacts,
-        reps=args.reps,
-        configs=configs,
-        master_seed=seed,
-        table=table,
-        jobs=args.jobs,
-        cache=cache,
-        progress=_progress(artifacts.name, args.verbose),
-    )
+    jsonl = _progress_jsonl(args)
+    try:
+        sweep = run_sweep(
+            artifacts,
+            reps=args.reps,
+            configs=configs,
+            master_seed=seed,
+            table=table,
+            jobs=args.jobs,
+            cache=cache,
+            progress=_progress(artifacts.name, args.verbose, jsonl),
+        )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
     # stdout carries only the deterministic report (bit-identical for any
     # --jobs value and for warm re-runs); timing and cache telemetry go
     # to stderr.
@@ -223,17 +265,27 @@ def cmd_study(args) -> int:
         names.extend(canonical_scenario(s) for s in args.scenarios)
     sweeps = {}
     artifacts_list = []
-    for name in names:
-        artifacts = record_workload(dataset(name), master_seed=seed)
-        artifacts_list.append(artifacts)
-        sweeps[name] = run_sweep(
-            artifacts,
-            reps=args.reps,
-            master_seed=seed,
-            jobs=args.jobs,
-            cache=cache,
-            progress=_progress(name, args.verbose),
-        )
+    # One reporter across every per-workload sweep: the JSONL stream is a
+    # single ordered sequence (monotonic seq), re-bound per grid.
+    jsonl = _progress_jsonl(args)
+    reporter = _progress("study", args.verbose, jsonl)
+    try:
+        for name in names:
+            artifacts = record_workload(dataset(name), master_seed=seed)
+            artifacts_list.append(artifacts)
+            if reporter is not None:
+                reporter.label = name
+            sweeps[name] = run_sweep(
+                artifacts,
+                reps=args.reps,
+                master_seed=seed,
+                jobs=args.jobs,
+                cache=cache,
+                progress=reporter,
+            )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
     print("Fig. 10 — input classification")
     print(figures.render_fig10(artifacts_list))
     print()
@@ -257,15 +309,37 @@ def _explore_rng(seed: int, args) -> random.Random:
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
-def _explore_progress(verbose: bool):
-    if not verbose:
-        return None
+def _explore_progress(verbose: bool, jsonl_stream=None):
+    """Explore's progress: terse per-spec stderr lines, optional JSONL.
 
-    def hook(spec: RunSpec, cached: bool) -> None:
-        suffix = " (cached)" if cached else ""
-        print(f"# {spec.label()}{suffix}", file=sys.stderr)
+    The explorer dispatches many small batches through one engine, so a
+    grid-bound reporter makes no sense here; with ``--progress-jsonl``
+    an unbound reporter streams ``run_completed`` telemetry instead,
+    keeping the human lines in the explorer's own terse format.
+    """
+    hook = None
+    if verbose:
 
-    return hook
+        def hook(spec: RunSpec, cached: bool) -> None:
+            suffix = " (cached)" if cached else ""
+            print(f"# {spec.label()}{suffix}", file=sys.stderr)
+
+    if jsonl_stream is None:
+        return hook
+    reporter = ProgressReporter(
+        "explore", jsonl_stream=jsonl_stream, human=False
+    )
+
+    class _ExploreProgress:
+        def observe(self, spec, cached=False, telemetry=None):
+            reporter.observe(spec, cached=cached, telemetry=telemetry)
+            if hook is not None:
+                hook(spec, cached)
+
+        def fleet_summary(self, stats, cache=None):
+            reporter.fleet_summary(stats, cache)
+
+    return _ExploreProgress()
 
 
 def cmd_explore(args) -> int:
@@ -280,21 +354,26 @@ def cmd_explore(args) -> int:
         irritation_weight=args.irritation_weight,
     )
     artifacts = record_workload(dataset(args.dataset), master_seed=seed)
-    evaluator = ExploreEvaluator(
-        artifacts,
-        jobs=args.jobs,
-        cache=cache,
-        master_seed=seed,
-        oracle_reps=args.reps,
-        progress=_explore_progress(args.verbose),
-    )
-    scores = strategy.search(
-        space, evaluator.evaluate, args.budget, _explore_rng(seed, args)
-    )
-    baselines = []
-    if not args.no_baselines:
-        stock = [g for g in GOVERNORS if g != args.governor]
-        baselines = evaluator.evaluate([args.governor] + stock, args.reps)
+    jsonl = _progress_jsonl(args)
+    try:
+        evaluator = ExploreEvaluator(
+            artifacts,
+            jobs=args.jobs,
+            cache=cache,
+            master_seed=seed,
+            oracle_reps=args.reps,
+            progress=_explore_progress(args.verbose, jsonl),
+        )
+        scores = strategy.search(
+            space, evaluator.evaluate, args.budget, _explore_rng(seed, args)
+        )
+        baselines = []
+        if not args.no_baselines:
+            stock = [g for g in GOVERNORS if g != args.governor]
+            baselines = evaluator.evaluate([args.governor] + stock, args.reps)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
 
     # stdout carries only the deterministic report (bit-identical for any
     # --jobs and for warm re-runs); telemetry goes to stderr.
@@ -409,6 +488,52 @@ def cmd_perf(args) -> int:
             return 1
         print()
         print(f"# perf gate passed (tolerance {tolerance:.2f})")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Replay one workload with full observability and export the trace."""
+    from repro import obs
+    from repro.harness.experiment import replay_run
+    from repro.scenarios.config import canonical_scenario
+
+    seed = _master_seed(args)
+    name = (
+        canonical_scenario(args.workload)
+        if "=" in args.workload
+        else args.workload
+    )
+    artifacts = record_workload(dataset(name), master_seed=seed)
+    session = obs.ObsSession.for_tracing()
+    with obs.observed(session):
+        record = replay_run(
+            artifacts, args.config, rep=args.rep, master_seed=seed
+        )
+    run_label = f"{name} [{args.config}]"
+    session.tracer.write(args.output, run_label)
+    # Summary on stderr only: like every other command, stdout stays
+    # reserved for deterministic study output.
+    counters = record.obs["counters"] if record.obs else {}
+    print(
+        f"# trace: {session.tracer.event_count} events -> {args.output}",
+        file=sys.stderr,
+    )
+    print(
+        f"# run: {counters.get('engine.events_dispatched', 0)} events "
+        f"dispatched, {counters.get('cpufreq.transitions', 0)} OPP "
+        f"transitions, {counters.get('frames.composed', 0)} frames, "
+        f"{counters.get('match.lags_matched', 0)} lags matched, "
+        f"{counters.get('timer.ticks_elided', 0)} ticks elided",
+        file=sys.stderr,
+    )
+    if args.obs_json:
+        import json as json_module
+
+        Path(args.obs_json).write_text(
+            json_module.dumps(record.obs, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"# obs section -> {args.obs_json}", file=sys.stderr)
     return 0
 
 
@@ -561,6 +686,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_perf.set_defaults(func=cmd_perf)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help=(
+            "replay one workload with full observability; export a "
+            "Perfetto-loadable Chrome trace-event JSON"
+        ),
+    )
+    p_trace.add_argument(
+        "workload", metavar="WORKLOAD",
+        help=(
+            "dataset name ('02') or scenario spec "
+            "('persona=gamer,seed=7,duration=45s')"
+        ),
+    )
+    p_trace.add_argument(
+        "--config", default="interactive", metavar="CFG",
+        help="governor or fixed:<khz> to replay under (default: interactive)",
+    )
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json", metavar="PATH",
+        help="trace output file (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--rep", type=int, default=0, metavar="R",
+        help="repetition index to replay (default: 0)",
+    )
+    p_trace.add_argument(
+        "--obs-json", default=None, metavar="PATH",
+        help="also dump the run's obs metrics section as JSON to PATH",
+    )
+    _add_seed_flag(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

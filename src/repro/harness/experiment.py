@@ -33,6 +33,7 @@ from repro.core.rng import RngStreams
 from repro.core.simtime import seconds
 from repro.device.device import Device, DeviceConfig
 from repro.metrics.hci import SHNEIDERMAN_MODEL, HciModel
+from repro.obs import session as obs_session
 from repro.replay import GeteventRecorder, ReplayAgent
 from repro.replay.trace import EventTrace
 from repro.results import RunRecord
@@ -268,44 +269,62 @@ def replay_run(
             "Pass frame_tap=<FrameTap> to observe the capture's segment "
             "stream instead (identical in streaming and batch modes)."
         )
-    streams = RngStreams(master_seed).fork(
-        f"replay:{artifacts.name}:{config}:{rep}"
-    )
-    if device_config is None:
-        device_config = device_config_for(artifacts.spec)
-    device, wm, _services = _build_device(
-        config, streams, device_config, **governor_tunables
-    )
-    device.cpu.enable_busy_trace()
-    agent = ReplayAgent(device.engine, device.input_subsystem)
-    agent.schedule(artifacts.trace)
-    card = CaptureCard(device.display)
-    streaming = stream_enabled()
-    online: OnlineMatcher | None = None
-    if streaming:
-        online = OnlineMatcher(artifacts.database)
-        card.add_tap(online)
-    if frame_tap is not None:
-        card.add_tap(frame_tap)
-    card.start(device.engine.now, streaming=streaming)
+    # Observability: an externally installed session (the ``trace``
+    # command, tests) is used as-is; otherwise REPRO_TRACE=1 installs a
+    # per-run metrics + flight-recorder session for this replay only.
+    # With neither, obs stays None and every instrumentation site below
+    # reduces to one ``is not None`` test.
+    obs = obs_session.active()
+    owns_session = False
+    if obs is None and obs_session.trace_enabled():
+        obs = obs_session.ObsSession.for_run()
+        obs_session.install(obs)
+        owns_session = True
+    try:
+        streams = RngStreams(master_seed).fork(
+            f"replay:{artifacts.name}:{config}:{rep}"
+        )
+        if device_config is None:
+            device_config = device_config_for(artifacts.spec)
+        device, wm, _services = _build_device(
+            config, streams, device_config, **governor_tunables
+        )
+        device.cpu.enable_busy_trace()
+        agent = ReplayAgent(device.engine, device.input_subsystem)
+        agent.schedule(artifacts.trace)
+        card = CaptureCard(device.display)
+        streaming = stream_enabled()
+        online: OnlineMatcher | None = None
+        if streaming:
+            online = OnlineMatcher(artifacts.database)
+            card.add_tap(online)
+        if frame_tap is not None:
+            card.add_tap(frame_tap)
+        card.start(device.engine.now, streaming=streaming)
 
-    run_window = artifacts.duration_us + RUN_TAIL_US
-    device.run_for(run_window)
+        run_window = artifacts.duration_us + RUN_TAIL_US
+        device.run_for(run_window)
 
-    video = card.stop(device.engine.now)
-    if streaming:
-        profile = online.profile()
-    else:
-        profile = Matcher(artifacts.database).match(video)
-    return RunRecord(
-        workload=artifacts.name,
-        config=config,
-        rep=rep,
-        duration_us=run_window,
-        energy_j=device.cpu.energy_joules(),
-        dynamic_energy_j=device.cpu.dynamic_energy_joules(),
-        busy_us=device.cpu.busy_time_total(),
-        transitions=device.policy.transition_points(),
-        busy_intervals=device.cpu.busy_pairs(),
-        lags=profile.lags,
-    )
+        video = card.stop(device.engine.now)
+        if streaming:
+            profile = online.profile()
+        else:
+            profile = Matcher(artifacts.database).match(video)
+        return RunRecord(
+            workload=artifacts.name,
+            config=config,
+            rep=rep,
+            duration_us=run_window,
+            energy_j=device.cpu.energy_joules(),
+            dynamic_energy_j=device.cpu.dynamic_energy_joules(),
+            busy_us=device.cpu.busy_time_total(),
+            transitions=device.policy.transition_points(),
+            busy_intervals=device.cpu.busy_pairs(),
+            lags=profile.lags,
+            obs=None if obs is None else obs.harvest_run(
+                device.engine, governor=device.governor
+            ),
+        )
+    finally:
+        if owns_session:
+            obs_session.uninstall()

@@ -1,0 +1,47 @@
+"""Observability: tracing, metrics, fleet telemetry, flight recorder.
+
+Provably free when off: no session installed means every instrumentation
+site in the simulator reduces to one ``is not None`` test.  See
+:mod:`repro.obs.session` for the contract and
+``README.md#observability`` for the user-facing tour.
+"""
+
+from repro.obs.metrics import OBS_SCHEMA_VERSION, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    RecordedEvent,
+    divergence_report,
+    first_divergence,
+)
+from repro.obs.session import (
+    TRACE_FLAG,
+    ObsError,
+    ObsSession,
+    active,
+    install,
+    observed,
+    trace_enabled,
+    uninstall,
+)
+from repro.obs.trace import TraceCollector
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_SCHEMA_VERSION",
+    "ObsError",
+    "ObsSession",
+    "RecordedEvent",
+    "TRACE_FLAG",
+    "TraceCollector",
+    "active",
+    "divergence_report",
+    "first_divergence",
+    "install",
+    "observed",
+    "trace_enabled",
+    "uninstall",
+]

@@ -1,0 +1,108 @@
+"""The metrics registry: counters, gauges and histograms for one run.
+
+A :class:`MetricsRegistry` is deliberately tiny — plain dicts of ints and
+floats, no locks, no label sets — because it lives inside one
+deterministic simulation run and is harvested exactly once, into the
+schema-versioned ``obs`` section of the run's
+:class:`~repro.results.RunRecord`.  Everything in a snapshot is pure
+JSON and derived from *simulation* state, never wall-clock state, so two
+runs of the same spec produce identical snapshots regardless of host or
+worker count.
+"""
+
+from __future__ import annotations
+
+#: Version of the ``obs`` section layout inside a RunRecord row.  The
+#: section is additive and self-versioned: bumping this does NOT bump
+#: ``RUN_RECORD_SCHEMA_VERSION`` (consumers must treat an unknown obs
+#: version as opaque), but any change to the snapshot's key layout or
+#: value meaning must bump it.
+OBS_SCHEMA_VERSION = 1
+
+#: Histogram bucket upper bounds: powers of four give ~2 buckets per
+#: decade over the simulator's natural ranges (µs-scale lags up to
+#: minute-scale spans; tick counts from 1 to millions) at 16 buckets.
+_BUCKET_BOUNDS = tuple(4**exponent for exponent in range(16))
+
+
+class Histogram:
+    """Fixed-bucket histogram over non-negative integer observations."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(_BUCKET_BOUNDS):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        for index, bound in enumerate(_BUCKET_BOUNDS):
+            if self.counts[index]:
+                buckets[f"le_{bound}"] = self.counts[index]
+        if self.counts[-1]:
+            buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms, harvested into one JSON snapshot."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int | float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def counter_value(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """The registry as a pure-JSON dict (deterministic key order)."""
+        return {
+            "schema_version": OBS_SCHEMA_VERSION,
+            "counters": {
+                name: self._counters[name] for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name] for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }

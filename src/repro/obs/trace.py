@@ -1,0 +1,157 @@
+"""Simulation-time tracing in the Chrome trace-event format.
+
+A :class:`TraceCollector` accumulates trace events whose timestamps are
+*simulation* microseconds — the Chrome trace-event format's native time
+unit — so a dumped trace loads directly into Perfetto / ``chrome://
+tracing`` with the simulated session on the timeline.  Event categories
+map onto synthetic threads of one synthetic process (the simulated
+device): governor activity, cpufreq OPP changes, timer park/unpark
+spans, frame compositions, and gesture annotation windows each get their
+own track.
+
+The collector knows nothing about the simulator; instrumented modules
+emit through :class:`~repro.obs.session.ObsSession`, which fans out to a
+collector only when one was requested (the ``repro-qoe trace`` command,
+or a test installing its own session).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: The one synthetic process: the simulated device.
+PID_DEVICE = 1
+
+#: Synthetic thread ids — one per track on the Perfetto timeline.
+TID_GOVERNOR = 1
+TID_CPUFREQ = 2
+TID_TIMERS = 3
+TID_FRAMES = 4
+TID_GESTURES = 5
+
+THREAD_NAMES = {
+    TID_GOVERNOR: "governor",
+    TID_CPUFREQ: "cpufreq",
+    TID_TIMERS: "timers",
+    TID_FRAMES: "frames",
+    TID_GESTURES: "gestures",
+}
+
+#: Chrome trace-event phases this module emits (M = metadata).
+PHASES = ("X", "i", "C", "M")
+
+
+class TraceCollector:
+    """Accumulates Chrome trace events for one simulation run."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def instant(
+        self, name: str, ts: int, tid: int, args: dict | None = None
+    ) -> None:
+        """An instant event (``ph: i``) at simulation time ``ts``."""
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": ts,
+            "pid": PID_DEVICE,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        ts: int,
+        dur: int,
+        tid: int,
+        args: dict | None = None,
+    ) -> None:
+        """A complete span (``ph: X``) of ``dur`` µs starting at ``ts``."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": PID_DEVICE,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, name: str, ts: int, series: dict[str, int | float]) -> None:
+        """A counter sample (``ph: C``): Perfetto draws these as a track."""
+        self._events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts,
+                "pid": PID_DEVICE,
+                "args": dict(series),
+            }
+        )
+
+    def to_chrome_trace(self, run_label: str | None = None) -> dict:
+        """The finished document: metadata events + collected events.
+
+        Spans can be emitted at close time (a park span is only known at
+        unpark), so events are sorted by timestamp on export — viewers
+        tolerate disorder, diff-based tests should not have to.
+        """
+        metadata: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PID_DEVICE,
+                "tid": 0,
+                "args": {"name": run_label or "repro-qoe simulated device"},
+            }
+        ]
+        for tid, thread_name in THREAD_NAMES.items():
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PID_DEVICE,
+                    "tid": tid,
+                    "args": {"name": thread_name},
+                }
+            )
+            metadata.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": PID_DEVICE,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        ordered = sorted(
+            self._events, key=lambda event: (event["ts"], event.get("tid", 0))
+        )
+        return {
+            "traceEvents": metadata + ordered,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_base": "simulation_microseconds"},
+        }
+
+    def write(self, path, run_label: str | None = None) -> None:
+        """Dump the Chrome trace JSON document to ``path``."""
+        from pathlib import Path
+
+        document = self.to_chrome_trace(run_label)
+        Path(path).write_text(
+            json.dumps(document, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,113 @@
+"""Structural validator for exported Chrome trace-event JSON.
+
+CI runs ``python -m repro.obs.validate trace.json`` on the traced smoke
+scenario so a malformed export fails the build before anyone wastes time
+dragging a broken file into Perfetto.  The checks are structural, not a
+full re-implementation of the Chrome spec: the document shape, the
+per-phase required fields, timestamp sanity, and — because this
+validator knows what a *simulator* trace must contain — that the five
+device tracks are declared and the core event families are present.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.trace import PHASES, PID_DEVICE, THREAD_NAMES
+
+#: Event-name prefixes a traced run must contain at least one of, per
+#: acceptance pillar: governor activity, cpufreq, parking, frames,
+#: gestures.  Keyed by a human label for the error message.
+REQUIRED_FAMILIES: dict[str, tuple[str, ...]] = {
+    "governor": ("governor_start:",),
+    "cpufreq": ("opp_transition",),
+    "timer parking": ("parked:", "park:"),
+    "frames": ("frame",),
+    "gesture windows": ("lag:", "window_open:"),
+}
+
+
+def validate_document(document: object) -> list[str]:
+    """Every structural problem found in ``document`` (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object with a traceEvents array"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        return ["traceEvents is empty"]
+
+    declared_tids: set[int] = set()
+    seen_names: list[str] = []
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string name")
+        if event.get("pid") != PID_DEVICE:
+            problems.append(f"{where}: pid must be {PID_DEVICE}")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                declared_tids.add(event.get("tid"))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative integer")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative integer")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+        if phase in ("X", "i") and event.get("tid") not in THREAD_NAMES:
+            problems.append(f"{where}: tid not a known device track")
+        seen_names.append(event.get("name", ""))
+
+    missing_tracks = set(THREAD_NAMES) - declared_tids
+    if missing_tracks:
+        names = ", ".join(THREAD_NAMES[tid] for tid in sorted(missing_tracks))
+        problems.append(f"missing thread_name metadata for track(s): {names}")
+
+    for family, prefixes in REQUIRED_FAMILIES.items():
+        if not any(
+            name.startswith(prefix)
+            for name in seen_names
+            for prefix in prefixes
+        ):
+            problems.append(f"no {family} events in trace")
+    return problems
+
+
+def validate_file(path: str | Path) -> list[str]:
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_document(document)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if len(arguments) != 1:
+        print("usage: python -m repro.obs.validate TRACE_JSON", file=sys.stderr)
+        return 2
+    problems = validate_file(arguments[0])
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: {arguments[0]} is a valid simulator trace", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ Schema rules
 * Rows are pure JSON: ints, floats, strings, lists.  Floats round-trip
   exactly (``json`` emits ``repr``-precision), which the bit-identical
   A/B guarantees rely on.
+* The ``obs`` section (``REPRO_TRACE=1`` observability harvest) is
+  self-versioned by ``repro.obs.metrics.OBS_SCHEMA_VERSION`` and
+  omitted entirely when ``None``; its internal layout is opaque to this
+  module.  Adding the field was itself a row-layout change, hence
+  version 2.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Version of the serialized row layout.  Bump on ANY change to the
 #: fields below or their encoding; the fleet cache folds this into its
 #: content address, so a bump invalidates every cached row at once.
-RUN_RECORD_SCHEMA_VERSION = 1
+RUN_RECORD_SCHEMA_VERSION = 2
 
 
 class RunRecordSchemaError(ReproError):
@@ -57,6 +62,12 @@ class RunRecord:
     day-long run logs hundreds of thousands of each.  Any iterable of
     pairs is accepted at construction and coerced.  ``lags`` is the
     matcher's output.
+
+    ``obs`` is the observability harvest (counters, gauges, histograms)
+    of a ``REPRO_TRACE=1`` run, or ``None`` — the default — when the run
+    was not observed.  It is excluded from equality so an observed run
+    still compares equal to its unobserved twin: observability must
+    never perturb result semantics.
     """
 
     workload: str
@@ -70,6 +81,7 @@ class RunRecord:
     busy_intervals: IntPairs
     lags: tuple[LagMeasurement, ...]
     schema_version: int = RUN_RECORD_SCHEMA_VERSION
+    obs: dict | None = field(default=None, compare=False)
     _timeline: "BusyTimeline | None" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -102,8 +114,13 @@ class RunRecord:
     # --- serialization ----------------------------------------------------------
 
     def to_json_dict(self) -> dict:
-        """The row as a pure-JSON dict (the IPC and cache wire format)."""
-        return {
+        """The row as a pure-JSON dict (the IPC and cache wire format).
+
+        ``obs`` is emitted only when present, so unobserved rows (the
+        default, and everything the A/B digest tests compare) serialize
+        to byte-identical text whether or not the field exists.
+        """
+        row = {
             "schema_version": self.schema_version,
             "workload": self.workload,
             "config": self.config,
@@ -128,6 +145,9 @@ class RunRecord:
                 for lag in self.lags
             ],
         }
+        if self.obs is not None:
+            row["obs"] = self.obs
+        return row
 
     @classmethod
     def from_json_dict(cls, row: dict) -> "RunRecord":
@@ -165,6 +185,7 @@ class RunRecord:
                 )
                 for lag in row["lags"]
             ),
+            obs=row.get("obs"),
         )
 
     def dumps(self) -> str:

@@ -18,10 +18,12 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.capture import FrameDigestTap
 from repro.fleet.engine import FleetEngine
 from repro.fleet.spec import RunSpec
 from repro.harness.experiment import record_workload, replay_run
+from repro.obs.recorder import divergence_report, first_divergence
 from repro.workloads.datasets import dataset
 
 REFERENCE_PATH = Path(__file__).parent / "golden_seed_reference.json"
@@ -89,16 +91,47 @@ def test_fast_path_matches_seed_reference(artifacts, config):
     assert got == want
 
 
+def _recorded_replay(artifacts, config):
+    """Replay under a flight-recorder session; return (digests, recorder)."""
+    session = obs.ObsSession.for_run()
+    with obs.observed(session):
+        result = replay_run(artifacts, config)
+    return _cell_digests(result), session.recorder
+
+
 def test_tick_elision_off_is_equivalent(artifacts, monkeypatch):
-    """REPRO_FASTPATH=0 (no parking) produces identical study output."""
+    """REPRO_FASTPATH=0 (no parking) produces identical study output.
+
+    Both replays run under a flight recorder: a digest mismatch reports
+    the first diverging kernel event instead of just two hex strings.
+    """
     config = "interactive"
     # Force the fast path ON explicitly so the A/B stays meaningful even
     # when the whole test run was launched with REPRO_FASTPATH=0.
     monkeypatch.setenv("REPRO_FASTPATH", "1")
-    fast = _cell_digests(replay_run(artifacts, config))
+    fast, fast_recorder = _recorded_replay(artifacts, config)
     monkeypatch.setenv("REPRO_FASTPATH", "0")
-    slow = _cell_digests(replay_run(artifacts, config))
-    assert fast == slow
+    slow, slow_recorder = _recorded_replay(artifacts, config)
+    assert fast == slow, divergence_report(
+        fast_recorder, slow_recorder, "fastpath", "slowpath"
+    )
+    # The recorders themselves must agree event for event — a stronger
+    # property than the end-of-run digests.
+    assert first_divergence(fast_recorder, slow_recorder) is None
+
+
+def test_forced_divergence_names_first_diverging_event(artifacts):
+    """Two runs that genuinely differ yield a report naming the first
+    diverging kernel event — the flight recorder's reason to exist."""
+    _, recorder_a = _recorded_replay(artifacts, "interactive")
+    _, recorder_b = _recorded_replay(artifacts, "ondemand")
+    pair = first_divergence(recorder_a, recorder_b)
+    assert pair is not None
+    report = divergence_report(recorder_a, recorder_b, "interactive", "ondemand")
+    assert "FIRST DIVERGING EVENT" in report
+    event_a, event_b = pair
+    described = [e.describe() for e in (event_a, event_b) if e is not None]
+    assert any(text in report for text in described)
 
 
 def test_fleet_jobs_match_direct_replay(artifacts):

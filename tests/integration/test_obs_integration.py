@@ -1,0 +1,138 @@
+"""End-to-end observability: opt-in only, invisible when off.
+
+The contract under test:
+
+* ``REPRO_TRACE`` unset — study stdout, run digests and RunRecord JSON
+  rows are bit-identical to a process that has never heard of the
+  observability subsystem;
+* ``REPRO_TRACE=1`` — every RunRecord carries a harvested ``obs``
+  section, while the deterministic study output still does not move;
+* ``repro-qoe trace`` — exports a Chrome trace-event JSON that the
+  structural validator accepts, covering every required event family.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiment import record_workload, replay_run
+from repro.obs.validate import validate_file
+from repro.workloads.datasets import dataset
+
+SCENARIO = "persona=gamer,seed=7,duration=45s"
+
+
+@pytest.fixture(autouse=True)
+def _trace_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+
+
+@pytest.fixture(scope="module")
+def scenario_artifacts():
+    return record_workload(dataset(SCENARIO))
+
+
+class TestStdoutByteIdentity:
+    def test_sweep_stdout_identical_with_trace_enabled(self, capsys, monkeypatch):
+        argv = ["sweep", "--dataset", "03", "--reps", "1", "--no-cache"]
+        assert main(argv) == 0
+        baseline = capsys.readouterr().out
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert main(argv) == 0
+        traced = capsys.readouterr().out
+        assert traced == baseline
+
+    def test_study_stdout_identical_with_trace_enabled(self, capsys, monkeypatch):
+        argv = ["study", "--datasets", "03", "--reps", "1", "--no-cache"]
+        assert main(argv) == 0
+        baseline = capsys.readouterr().out
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert main(argv) == 0
+        traced = capsys.readouterr().out
+        assert traced == baseline
+
+
+class TestRunRecordObsSection:
+    def test_trace_off_leaves_obs_absent(self, scenario_artifacts):
+        record = replay_run(scenario_artifacts, "interactive")
+        assert record.obs is None
+        assert "obs" not in record.to_json_dict()
+
+    def test_trace_on_harvests_obs_without_moving_digests(
+        self, scenario_artifacts, monkeypatch
+    ):
+        plain = replay_run(scenario_artifacts, "interactive")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        observed = replay_run(scenario_artifacts, "interactive")
+
+        # The simulation itself is untouched by observation.
+        assert observed.energy_j == plain.energy_j
+        assert observed.busy_us == plain.busy_us
+        assert len(observed.lag_profile.lags) == len(plain.lag_profile.lags)
+        assert observed.transitions == plain.transitions
+        # obs is bookkeeping, not identity: records still compare equal.
+        assert observed == plain
+
+        obs_row = observed.obs
+        assert obs_row is not None
+        counters = obs_row["counters"]
+        # transitions[0] is the initial OPP seeded at construction, not
+        # an observed change — the counter covers the changes only.
+        assert counters["cpufreq.transitions"] == len(plain.transitions) - 1
+        assert counters["engine.events_dispatched"] > 0
+        assert counters["frames.composed"] > 0
+        assert counters["match.lags_matched"] == len(plain.lag_profile.lags)
+        assert obs_row["flight_recorder"]["recorded"] > 0
+
+    def test_obs_section_round_trips_through_json(
+        self, scenario_artifacts, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        record = replay_run(scenario_artifacts, "interactive")
+        from repro.results import RunRecord
+
+        row = record.to_json_dict()
+        assert row["obs"] == record.obs
+        restored = RunRecord.from_json_dict(json.loads(json.dumps(row)))
+        assert restored.obs == record.obs
+        assert restored == record
+
+
+class TestTraceCommand:
+    def test_trace_command_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        obs_path = tmp_path / "obs.json"
+        argv = [
+            "trace", SCENARIO, "--config", "interactive",
+            "-o", str(trace_path), "--obs-json", str(obs_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # summary is stderr-only
+        assert "events ->" in captured.err
+
+        # Structurally valid and covering every required event family
+        # (governor, cpufreq, timer parking, frames, gesture windows).
+        assert validate_file(trace_path) == []
+
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = [event["name"] for event in document["traceEvents"]]
+        assert any(name.startswith("governor_start:") for name in names)
+        assert "opp_transition" in names
+        assert any(name.startswith("parked:") for name in names)
+        assert "frame" in names
+        assert any(name.startswith("lag:") for name in names)
+
+        obs_row = json.loads(obs_path.read_text(encoding="utf-8"))
+        assert obs_row["trace_events"] == sum(
+            1 for event in document["traceEvents"] if event["ph"] != "M"
+        )
+
+    def test_trace_command_accepts_dataset_names(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "03", "-o", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert validate_file(trace_path) == []

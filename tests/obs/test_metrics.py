@@ -1,0 +1,72 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+from repro.obs.metrics import OBS_SCHEMA_VERSION, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap == {
+            "count": 0, "sum": 0, "min": None, "max": None, "buckets": {}
+        }
+
+    def test_observations_land_in_power_of_four_buckets(self):
+        histogram = Histogram()
+        for value in (0, 1, 4, 5, 16, 100_000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 6
+        assert snap["sum"] == 100_026
+        assert snap["min"] == 0
+        assert snap["max"] == 100_000
+        assert snap["buckets"]["le_1"] == 2  # 0 and 1
+        assert snap["buckets"]["le_4"] == 1
+        assert snap["buckets"]["le_16"] == 2  # 5 and 16
+        assert snap["buckets"]["le_262144"] == 1
+
+    def test_overflow_bucket(self):
+        histogram = Histogram()
+        histogram.observe(4**16 + 1)
+        assert histogram.snapshot()["buckets"] == {"inf": 1}
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 5)
+        registry.inc("b")
+        assert registry.counter_value("a") == 6
+        assert registry.counter_value("b") == 1
+        assert registry.counter_value("missing") == 0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1)
+        registry.set_gauge("g", 9)
+        assert registry.snapshot()["gauges"] == {"g": 9}
+
+    def test_snapshot_is_pure_json_with_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.inc("z.second")
+        registry.inc("a.first")
+        registry.set_gauge("gauge", 3.5)
+        registry.observe("hist", 7)
+        snap = registry.snapshot()
+        assert snap["schema_version"] == OBS_SCHEMA_VERSION
+        assert list(snap["counters"]) == ["a.first", "z.second"]
+        # round-trips through JSON unchanged
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_two_identical_runs_snapshot_identically(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("events", 100)
+            registry.observe("lag", 42)
+            registry.observe("lag", 43)
+            registry.set_gauge("frames", 12)
+            return registry.snapshot()
+
+        assert build() == build()

@@ -1,0 +1,126 @@
+"""Unit tests for the Chrome trace-event collector and validator."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    PID_DEVICE,
+    THREAD_NAMES,
+    TID_CPUFREQ,
+    TID_FRAMES,
+    TID_GESTURES,
+    TID_GOVERNOR,
+    TID_TIMERS,
+    TraceCollector,
+)
+from repro.obs.validate import validate_document, validate_file
+
+
+def _full_collector() -> TraceCollector:
+    """A collector holding one event of every required family."""
+    tracer = TraceCollector()
+    tracer.instant("governor_start:interactive", 0, TID_GOVERNOR)
+    tracer.instant("opp_transition", 100, TID_CPUFREQ, {"khz": 960_000})
+    tracer.counter("cpufreq_khz", 100, {"khz": 960_000})
+    tracer.complete("parked:idle", 200, 5_000, TID_TIMERS, {"ticks_elided": 3})
+    tracer.instant("frame", 33_333, TID_FRAMES, {"frame_index": 1})
+    tracer.complete("lag:tap:0", 40_000, 120_000, TID_GESTURES)
+    return tracer
+
+
+class TestTraceCollector:
+    def test_events_sorted_by_timestamp_on_export(self):
+        tracer = TraceCollector()
+        tracer.instant("later", 500, TID_FRAMES)
+        tracer.instant("earlier", 100, TID_GOVERNOR)
+        document = _ts_only(tracer.to_chrome_trace())
+        assert document == sorted(document)
+
+    def test_metadata_declares_every_track(self):
+        document = TraceCollector().to_chrome_trace("run")
+        names = {
+            event["tid"]: event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["name"] == "thread_name"
+        }
+        assert names == THREAD_NAMES
+
+    def test_process_name_carries_run_label(self):
+        document = _full_collector().to_chrome_trace("persona=gamer [qoe]")
+        process = next(
+            event for event in document["traceEvents"]
+            if event["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "persona=gamer [qoe]"
+        assert process["pid"] == PID_DEVICE
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _full_collector().write(path, "label")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["otherData"]["time_base"] == "simulation_microseconds"
+        assert validate_document(document) == []
+
+
+def _ts_only(document):
+    return [
+        event["ts"] for event in document["traceEvents"] if event["ph"] != "M"
+    ]
+
+
+class TestValidator:
+    def test_valid_document_has_no_problems(self):
+        assert validate_document(_full_collector().to_chrome_trace()) == []
+
+    def test_empty_trace_rejected(self):
+        assert validate_document({"traceEvents": []})
+
+    def test_non_object_rejected(self):
+        assert validate_document([1, 2])
+
+    def test_missing_family_reported(self):
+        tracer = TraceCollector()
+        tracer.instant("governor_start:x", 0, TID_GOVERNOR)
+        problems = validate_document(tracer.to_chrome_trace())
+        assert any("frames" in problem for problem in problems)
+        assert any("cpufreq" in problem for problem in problems)
+
+    def test_negative_timestamp_reported(self):
+        document = _full_collector().to_chrome_trace()
+        document["traceEvents"].append(
+            {"name": "bad", "ph": "i", "ts": -1, "pid": 1, "tid": 1, "s": "t"}
+        )
+        problems = validate_document(document)
+        assert any("non-negative" in problem for problem in problems)
+
+    def test_unknown_phase_reported(self):
+        document = _full_collector().to_chrome_trace()
+        document["traceEvents"].append(
+            {"name": "bad", "ph": "Q", "ts": 0, "pid": 1, "tid": 1}
+        )
+        assert any(
+            "unknown phase" in problem
+            for problem in validate_document(document)
+        )
+
+    def test_unreadable_file_is_a_problem(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert validate_file(missing)
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json", encoding="utf-8")
+        assert validate_file(garbled)
+
+    def test_cli_main_exit_codes(self, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        good = tmp_path / "good.json"
+        _full_collector().write(good)
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        assert main([str(bad)]) == 1
+        assert main([]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # diagnostics are stderr-only
+        assert "INVALID" in captured.err

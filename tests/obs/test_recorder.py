@@ -1,0 +1,121 @@
+"""Unit tests for the divergence flight recorder."""
+
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    RecordedEvent,
+    divergence_report,
+    first_divergence,
+)
+
+
+def _fill(recorder: FlightRecorder, labels: list[str], category: str = "cpufreq"):
+    for index, label in enumerate(labels):
+        recorder.record(ts=index * 10, category=category, label=label)
+
+
+class TestFlightRecorder:
+    def test_records_in_order_with_sequence_numbers(self):
+        recorder = FlightRecorder(capacity=8)
+        _fill(recorder, ["a", "b", "c"])
+        events = recorder.events()
+        assert [event.seq for event in events] == [0, 1, 2]
+        assert [event.label for event in events] == ["a", "b", "c"]
+        assert recorder.total_recorded == 3
+        assert recorder.dropped == 0
+
+    def test_ring_wraps_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=3)
+        _fill(recorder, ["a", "b", "c", "d", "e"])
+        events = recorder.events()
+        assert [event.label for event in events] == ["c", "d", "e"]
+        assert [event.seq for event in events] == [2, 3, 4]
+        assert recorder.total_recorded == 5
+        assert recorder.dropped == 2
+
+    def test_default_capacity_is_bounded(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_describe_names_the_event(self):
+        event = RecordedEvent(seq=7, ts=1234, category="frame", label="composed=3")
+        assert event.describe() == "#7 t=1234us frame: composed=3"
+
+
+class TestFirstDivergence:
+    def _recorder(self, labels, capacity=16):
+        recorder = FlightRecorder(capacity=capacity)
+        _fill(recorder, labels)
+        return recorder
+
+    def test_identical_streams_have_no_divergence(self):
+        a = self._recorder(["x", "y", "z"])
+        b = self._recorder(["x", "y", "z"])
+        assert first_divergence(a, b) is None
+
+    def test_finds_first_differing_event(self):
+        a = self._recorder(["x", "y", "z"])
+        b = self._recorder(["x", "DIFFERENT", "z"])
+        pair = first_divergence(a, b)
+        assert pair is not None
+        event_a, event_b = pair
+        assert event_a.label == "y"
+        assert event_b.label == "DIFFERENT"
+        assert event_a.seq == event_b.seq == 1
+
+    def test_aligns_on_seq_when_one_ring_dropped_earlier_events(self):
+        # a kept everything; b's small ring dropped its first two events.
+        a = self._recorder(["p", "q", "r", "s", "t"])
+        b = self._recorder(["p", "q", "r", "s", "t"], capacity=3)
+        assert b.dropped == 2
+        # comparison starts at the max first-seq (2), so they still agree
+        assert first_divergence(a, b) is None
+
+    def test_length_mismatch_reports_the_extra_event(self):
+        a = self._recorder(["x", "y", "z"])
+        b = self._recorder(["x", "y"])
+        pair = first_divergence(a, b)
+        assert pair is not None
+        extra, missing = pair
+        assert missing is None
+        assert extra.label == "z"
+
+    def test_timestamp_difference_is_a_divergence(self):
+        a = FlightRecorder()
+        b = FlightRecorder()
+        a.record(ts=100, category="frame", label="composed=0")
+        b.record(ts=105, category="frame", label="composed=0")
+        assert first_divergence(a, b) is not None
+
+
+class TestDivergenceReport:
+    def test_report_names_first_diverging_event(self):
+        a = FlightRecorder()
+        b = FlightRecorder()
+        for recorder in (a, b):
+            recorder.record(ts=0, category="governor", label="start")
+            recorder.record(ts=50, category="cpufreq", label="opp=600000")
+        a.record(ts=90, category="cpufreq", label="opp=960000")
+        b.record(ts=90, category="cpufreq", label="opp=1200000")
+        report = divergence_report(a, b, "fastpath", "slowpath")
+        assert "FIRST DIVERGING EVENT" in report
+        assert "opp=960000" in report
+        assert "opp=1200000" in report
+        assert "fastpath" in report and "slowpath" in report
+        # the agreeing prefix is shown as context
+        assert "opp=600000" in report
+
+    def test_report_on_identical_streams_says_so(self):
+        a = FlightRecorder()
+        b = FlightRecorder()
+        a.record(ts=0, category="governor", label="start")
+        b.record(ts=0, category="governor", label="start")
+        report = divergence_report(a, b, "A", "B")
+        assert "no divergence" in report.lower()
+
+    def test_report_notes_ring_drops(self):
+        a = FlightRecorder(capacity=2)
+        b = FlightRecorder(capacity=2)
+        for recorder in (a, b):
+            _fill(recorder, ["a", "b", "c", "d"])
+        report = divergence_report(a, b, "A", "B")
+        assert "dropped" in report.lower()
