@@ -39,6 +39,12 @@ OVERHEAD_BUDGET = 0.01  # <=1% of macro replay wall time
 PER_EMIT_COUNTERS = (
     "governor.starts",
     "governor.input_boosts",
+    # Attribution decision-context sites: one governor.decisions increment
+    # per decision emit, one governor.load_samples per load emit.  (The
+    # per-kind governor.decisions.<kind> sub-counters are the same site
+    # visits again — including them would double-count.)
+    "governor.decisions",
+    "governor.load_samples",
     "timer.parks",
     "timer.unparks",
     "cpufreq.transitions",

@@ -24,6 +24,7 @@ of the same dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.device.frequencies import FrequencyTable
 from repro.device.power import PowerModel
@@ -45,13 +46,20 @@ DEFAULT_IRRITATION_WEIGHT = 0.05
 
 @dataclass(frozen=True, slots=True)
 class CandidateScore:
-    """One candidate's position on the paper's energy-irritation plane."""
+    """One candidate's position on the paper's energy-irritation plane.
+
+    ``dominant_cause`` names the largest per-cause irritation share from
+    the runs' attribution harvest (``REPRO_TRACE=1``), or is ``None``
+    when any rep lacks the harvest — an untraced run, or a cache row
+    written before attribution existed — or when irritation is zero.
+    """
 
     config: str
     reps: int
     mean_energy_j: float
     energy_norm: float
     irritation_s: float
+    dominant_cause: str | None = None
 
     def point(self) -> tuple[float, float]:
         """(energy normalised to oracle, irritation seconds) — minimise both."""
@@ -62,6 +70,32 @@ class CandidateScore:
     ) -> float:
         """Weighted single objective for strategies that need a ranking."""
         return self.energy_norm + irritation_weight * self.irritation_s
+
+
+def dominant_cause_of_runs(runs: Sequence[RunRecord]) -> str | None:
+    """The largest irritation cause summed across ``runs``' attributions.
+
+    ``None`` when any run lacks the attribution harvest (untraced, or
+    cached before the attribution engine existed) or when the summed
+    irritation is zero — a score must never claim a cause it cannot
+    back with every rep's evidence.
+    """
+    from repro.obs.attribution.causes import cause_order_key
+
+    totals: dict[str, int] = {}
+    for run in runs:
+        summary = (run.obs or {}).get("attribution")
+        if not isinstance(summary, dict):
+            return None
+        for cause, penalty_us in summary.get(
+            "per_cause_penalty_us", {}
+        ).items():
+            totals[cause] = totals.get(cause, 0) + int(penalty_us)
+    if not any(totals.values()):
+        return None
+    return min(
+        totals.items(), key=lambda item: (-item[1], cause_order_key(item[0]))
+    )[0]
 
 
 class ExploreEvaluator:
@@ -141,6 +175,7 @@ class ExploreEvaluator:
                     mean_energy_j=mean_energy,
                     energy_norm=mean_energy / oracle.energy_j,
                     irritation_s=irritation,
+                    dominant_cause=dominant_cause_of_runs(runs),
                 )
         return [self._scores[(config, reps)] for config in canonical]
 

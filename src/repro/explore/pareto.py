@@ -51,6 +51,7 @@ def render_frontier_report(
     scores: Sequence[CandidateScore],
     oracle_irritation_s: float,
     baselines: Sequence[CandidateScore] = (),
+    show_causes: bool = False,
 ) -> str:
     """The exploration's result: ranked table + ASCII plane.
 
@@ -58,36 +59,41 @@ def render_frontier_report(
     governors at their defaults) are plotted for reference but take no
     part in the frontier.  The oracle sits at (1.0, its own irritation)
     by construction.
+
+    ``show_causes`` appends the attribution engine's dominant-irritation
+    -cause column (``-`` for zero-irritation or unattributed scores);
+    the CLI enables it only under ``REPRO_TRACE=1`` so untraced stdout
+    stays byte-identical to pre-attribution output.
     """
     frontier = pareto_frontier(scores)
     frontier_configs = {score.config for score in frontier}
+
+    def _row(mark: str, score: CandidateScore) -> list[str]:
+        row = [
+            mark,
+            score.config,
+            str(score.reps),
+            f"{score.energy_norm:.3f}",
+            f"{score.irritation_s:.2f}",
+        ]
+        if show_causes:
+            row.append(score.dominant_cause or "-")
+        return row
+
     rows = []
     for score in sorted(
         scores, key=lambda s: (s.energy_norm, s.irritation_s, s.config)
     ):
-        rows.append(
-            [
-                "*" if score.config in frontier_configs else "",
-                score.config,
-                str(score.reps),
-                f"{score.energy_norm:.3f}",
-                f"{score.irritation_s:.2f}",
-            ]
-        )
+        rows.append(_row("*" if score.config in frontier_configs else "", score))
     for score in sorted(baselines, key=lambda s: s.config):
-        rows.append(
-            [
-                "b",
-                score.config,
-                str(score.reps),
-                f"{score.energy_norm:.3f}",
-                f"{score.irritation_s:.2f}",
-            ]
-        )
-    rows.append(["@", "oracle", "", "1.000", f"{oracle_irritation_s:.2f}"])
-    table = format_table(
-        ["", "config", "reps", "energy/oracle", "irritation s"], rows
-    )
+        rows.append(_row("b", score))
+    oracle_row = ["@", "oracle", "", "1.000", f"{oracle_irritation_s:.2f}"]
+    headers = ["", "config", "reps", "energy/oracle", "irritation s"]
+    if show_causes:
+        oracle_row.append("")
+        headers.append("dominant cause")
+    rows.append(oracle_row)
+    table = format_table(headers, rows)
     plot = _render_plane(scores, frontier_configs, baselines, oracle_irritation_s)
     return (
         f"{len(scores)} candidate(s), {len(frontier)} on the Pareto "

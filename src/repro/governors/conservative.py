@@ -84,15 +84,28 @@ class ConservativeGovernor(TickElisionMixin, Governor):
         self.samples_taken += 1
         policy = self._policy
         current = policy.current_khz
+        obs = self._obs
+        if obs is not None:
+            obs.governor_load(self.context.engine.clock._now, load)
         if load > self.up_threshold:
             if current < policy.max_khz:
                 policy.set_target(current + self.freq_step_khz, RELATION_HIGH)
+                if obs is not None and policy.current_khz != current:
+                    obs.governor_decision(
+                        self.context.engine.clock._now, self.name, "step_up",
+                        policy.current_khz,
+                    )
         elif load < self.down_threshold:
             if current > policy.min_khz:
                 policy.set_target(
                     max(current - self.freq_step_khz, policy.min_khz),
                     RELATION_LOW,
                 )
+                if obs is not None and policy.current_khz != current:
+                    obs.governor_decision(
+                        self.context.engine.clock._now, self.name, "step_down",
+                        policy.current_khz,
+                    )
         # Tick-elision fast path: settled at the minimum with an idle core
         # (load 0, no step down possible) or pinned at the maximum with a
         # busy core (load 100, no step up possible) — either way every

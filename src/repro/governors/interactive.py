@@ -135,6 +135,9 @@ class InteractiveGovernor(TickElisionMixin, Governor):
         policy = self._policy
         now = self.context.engine.clock._now
         current = policy.current_khz
+        obs = self._obs
+        if obs is not None:
+            obs.governor_load(now, load)
 
         if load >= self.go_hispeed_load:
             if current < self.hispeed_freq_khz:
@@ -161,11 +164,21 @@ class InteractiveGovernor(TickElisionMixin, Governor):
         if new_freq > current:
             policy.set_target(new_freq, RELATION_HIGH)
             self._raise_floor(policy.current_khz)
+            if obs is not None and policy.current_khz != current:
+                obs.governor_decision(
+                    now, self.name, "ramp_up", policy.current_khz
+                )
         elif new_freq < current:
             # Hold the floor for min_sample_time before ramping down.
-            if now - self._floor_set_at >= self.min_sample_time_us:
+            held = now - self._floor_set_at
+            if held >= self.min_sample_time_us:
                 policy.set_target(new_freq, RELATION_LOW)
                 self._raise_floor(policy.current_khz)
+                if obs is not None and policy.current_khz != current:
+                    obs.governor_decision(
+                        now, self.name, "ramp_down", policy.current_khz,
+                        waited_us=held,
+                    )
 
         # Tick-elision fast path.  Two provably-stable states:
         #  * idle at the policy minimum: every sample reads load 0, chooses

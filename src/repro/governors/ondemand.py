@@ -78,8 +78,17 @@ class OndemandGovernor(TickElisionMixin, Governor):
         load = self._load_tracker.sample()
         self.samples_taken += 1
         policy = self._policy
+        obs = self._obs
+        if obs is not None:
+            obs.governor_load(self.context.engine.clock._now, load)
         if load > self.up_threshold:
+            previous = policy.current_khz
             policy.set_target(policy.max_khz, RELATION_HIGH)
+            if obs is not None and policy.current_khz != previous:
+                obs.governor_decision(
+                    self.context.engine.clock._now, self.name, "jump_max",
+                    policy.current_khz,
+                )
             # While pinned at max, re-evaluate down-scaling less often.
             self._down_skip = self.sampling_down_factor - 1
             # Busy fast path: pinned at max with a busy core, every
@@ -97,8 +106,14 @@ class OndemandGovernor(TickElisionMixin, Governor):
             return
         # Below the threshold: the lowest frequency that would have kept
         # this load under up_threshold, relative to the *current* speed.
-        target = load * policy.current_khz // self.up_threshold
+        previous = policy.current_khz
+        target = load * previous // self.up_threshold
         policy.set_target(max(target, policy.min_khz), RELATION_LOW)
+        if obs is not None and policy.current_khz != previous:
+            obs.governor_decision(
+                self.context.engine.clock._now, self.name, "ramp_down",
+                policy.current_khz,
+            )
         # Idle fast path: idle at the minimum, every further sample is a
         # no-op (load 0, target min, nothing to decrement) until the core
         # turns busy again.

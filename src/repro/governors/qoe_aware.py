@@ -133,7 +133,14 @@ class QoeAwareGovernor(TickElisionMixin, Governor):
         if now - self._idle_since >= self.settle_time_us:
             policy = self._policy
             if policy.current_khz != self.efficient_khz:
+                idle_us = now - self._idle_since
                 policy.set_target(self.efficient_khz, RELATION_LOW)
+                obs = self._obs
+                if obs is not None:
+                    obs.governor_decision(
+                        now, self.name, "settle_drop", policy.current_khz,
+                        waited_us=idle_us,
+                    )
             # Idle fast path: settled at the efficient OPP with nothing
             # queued — every further sample is a no-op until new work is
             # dispatched or an input boost arrives; both un-park.

@@ -18,6 +18,8 @@ Examples::
     repro-qoe perf --suite all --profile perf.prof
     repro-qoe perf --suite study --scenario persona=creator,seed=2,duration=2m
     repro-qoe trace persona=gamer,seed=7,duration=45s -o trace.json
+    repro-qoe attribute persona=gamer,seed=7,duration=45s -o annotated.json
+    repro-qoe trace-diff baseline.json candidate.json
     repro-qoe sweep --dataset 02 --jobs 4 --progress-jsonl progress.jsonl
 
 Synthesized scenarios (persona/seed/duration/device-profile config
@@ -85,17 +87,27 @@ def _progress(
 def _progress_jsonl(args):
     """The opened ``--progress-jsonl`` handle, or None.
 
-    Caller owns the handle (close in a ``finally``); study shares one
+    ``-`` streams to stderr (stdout stays reserved for deterministic
+    study output).  Caller owns the handle — close it with
+    :func:`_close_progress_jsonl` in a ``finally``; study shares one
     handle across its per-workload sweeps so the stream stays a single
     ordered sequence.
     """
     path = getattr(args, "progress_jsonl", None)
     if not path:
         return None
+    if path == "-":
+        return sys.stderr
     try:
         return open(path, "w", encoding="utf-8")
     except OSError as exc:
         raise ReproError(f"unusable --progress-jsonl {path}: {exc}") from exc
+
+
+def _close_progress_jsonl(jsonl) -> None:
+    """Close a ``--progress-jsonl`` handle unless it is the ``-`` stderr."""
+    if jsonl is not None and jsonl is not sys.stderr:
+        jsonl.close()
 
 
 def _positive_int(text: str) -> int:
@@ -123,7 +135,7 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "stream machine-readable fleet telemetry (one JSON object per "
             "line: grid_bound, run_completed, heartbeat, fleet_summary) "
-            "to PATH"
+            "to PATH, or '-' for stderr"
         ),
     )
 
@@ -234,8 +246,7 @@ def cmd_sweep(args) -> int:
             progress=_progress(artifacts.name, args.verbose, jsonl),
         )
     finally:
-        if jsonl is not None:
-            jsonl.close()
+        _close_progress_jsonl(jsonl)
     # stdout carries only the deterministic report (bit-identical for any
     # --jobs value and for warm re-runs); timing and cache telemetry go
     # to stderr.
@@ -284,8 +295,7 @@ def cmd_study(args) -> int:
                 progress=reporter,
             )
     finally:
-        if jsonl is not None:
-            jsonl.close()
+        _close_progress_jsonl(jsonl)
     print("Fig. 10 — input classification")
     print(figures.render_fig10(artifacts_list))
     print()
@@ -372,8 +382,7 @@ def cmd_explore(args) -> int:
             stock = [g for g in GOVERNORS if g != args.governor]
             baselines = evaluator.evaluate([args.governor] + stock, args.reps)
     finally:
-        if jsonl is not None:
-            jsonl.close()
+        _close_progress_jsonl(jsonl)
 
     # stdout carries only the deterministic report (bit-identical for any
     # --jobs and for warm re-runs); telemetry goes to stderr.
@@ -382,8 +391,14 @@ def cmd_explore(args) -> int:
           f"space={space.size} reps={args.reps}")
     print()
     print("Pareto frontier vs oracle")
+    from repro.obs.session import trace_enabled
+
+    # The dominant-cause column only exists under REPRO_TRACE=1: the
+    # untraced report must stay byte-identical to pre-attribution output.
     oracle_irritation = evaluator.oracle.irritation().total_seconds
-    print(render_frontier_report(scores, oracle_irritation, baselines))
+    print(render_frontier_report(
+        scores, oracle_irritation, baselines, show_causes=trace_enabled()
+    ))
     print(f"# {evaluator.replays_executed} replay(s) executed, "
           f"{evaluator.cache_hits} served from cache "
           f"({time.time() - t0:.1f}s wall)", file=sys.stderr)
@@ -535,6 +550,64 @@ def cmd_trace(args) -> int:
         )
         print(f"# obs section -> {args.obs_json}", file=sys.stderr)
     return 0
+
+
+def cmd_attribute(args) -> int:
+    """Explain every irritation window: per-cause breakdown + annotated trace.
+
+    stdout carries only the deterministic attribution report (the CI
+    perf-smoke job pins it byte-identical across ``--jobs``); trace and
+    telemetry lines go to stderr.
+    """
+    import json as json_module
+
+    from repro import obs
+    from repro.harness.experiment import replay_run
+    from repro.obs.attribution import (
+        annotate_document,
+        attribute_record,
+        render_report,
+    )
+    from repro.scenarios.config import canonical_scenario
+
+    seed = _master_seed(args)
+    name = (
+        canonical_scenario(args.workload)
+        if "=" in args.workload
+        else args.workload
+    )
+    artifacts = record_workload(dataset(name), master_seed=seed)
+    session = obs.ObsSession.for_tracing()
+    with obs.observed(session):
+        record = replay_run(
+            artifacts, args.config, rep=args.rep, master_seed=seed
+        )
+    attribution = attribute_record(record, boosts=session.decisions.boosts)
+    if args.output:
+        run_label = f"{name} [{args.config}]"
+        document = annotate_document(
+            session.tracer.to_chrome_trace(run_label), attribution
+        )
+        Path(args.output).write_text(
+            json_module.dumps(document, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"# annotated trace: {len(document['traceEvents'])} events "
+            f"-> {args.output}",
+            file=sys.stderr,
+        )
+    print(render_report(attribution))
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Align two exported traces; report span deltas and first divergence."""
+    from repro.obs.attribution import diff_trace_files, render_diff
+
+    diff = diff_trace_files(args.trace_a, args.trace_b)
+    print(render_diff(diff))
+    return 1 if diff.diverging else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -719,6 +792,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed_flag(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_attr = sub.add_parser(
+        "attribute",
+        help=(
+            "decompose every irritation window into named causes; "
+            "print the per-cause breakdown and annotate the trace"
+        ),
+    )
+    p_attr.add_argument(
+        "workload", metavar="WORKLOAD",
+        help=(
+            "dataset name ('02') or scenario spec "
+            "('persona=gamer,seed=7,duration=45s')"
+        ),
+    )
+    p_attr.add_argument(
+        "--config", default="interactive", metavar="CFG",
+        help="governor or fixed:<khz> to replay under (default: interactive)",
+    )
+    p_attr.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the cause-annotated Chrome trace JSON to PATH",
+    )
+    p_attr.add_argument(
+        "--rep", type=int, default=0, metavar="R",
+        help="repetition index to replay (default: 0)",
+    )
+    p_attr.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help=(
+            "accepted for fleet-CLI parity; attribution replays one run "
+            "in-process, so the report is identical for any N"
+        ),
+    )
+    _add_seed_flag(p_attr)
+    p_attr.set_defaults(func=cmd_attribute)
+
+    p_diff = sub.add_parser(
+        "trace-diff",
+        help=(
+            "align two exported traces; report span-level deltas and the "
+            "first causally-diverging irritation window (exit 1 if any)"
+        ),
+    )
+    p_diff.add_argument("trace_a", metavar="TRACE_A", help="baseline trace JSON")
+    p_diff.add_argument("trace_b", metavar="TRACE_B", help="candidate trace JSON")
+    p_diff.set_defaults(func=cmd_trace_diff)
     return parser
 
 

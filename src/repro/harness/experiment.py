@@ -310,7 +310,7 @@ def replay_run(
             profile = online.profile()
         else:
             profile = Matcher(artifacts.database).match(video)
-        return RunRecord(
+        record = RunRecord(
             workload=artifacts.name,
             config=config,
             rep=rep,
@@ -321,10 +321,20 @@ def replay_run(
             transitions=device.policy.transition_points(),
             busy_intervals=device.cpu.busy_pairs(),
             lags=profile.lags,
-            obs=None if obs is None else obs.harvest_run(
-                device.engine, governor=device.governor
-            ),
         )
+        if obs is not None:
+            snapshot = obs.harvest_run(device.engine, governor=device.governor)
+            if obs.decisions is not None:
+                # The attribution engine consumes only mode-invariant
+                # record state + boost timestamps, so the harvested cause
+                # profile is identical across fastpath/streaming modes.
+                from repro.obs.attribution import attribute_record
+
+                snapshot["attribution"] = attribute_record(
+                    record, boosts=obs.decisions.boosts
+                ).summary()
+            record.obs = snapshot
+        return record
     finally:
         if owns_session:
             obs_session.uninstall()

@@ -16,6 +16,7 @@ from repro.obs.recorder import (
 )
 from repro.obs.session import (
     TRACE_FLAG,
+    DecisionLog,
     ObsError,
     ObsSession,
     active,
@@ -28,6 +29,7 @@ from repro.obs.trace import TraceCollector
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DecisionLog",
     "FlightRecorder",
     "Histogram",
     "MetricsRegistry",

@@ -1,0 +1,58 @@
+"""Lag attribution: explain every irritation window, diff any two traces.
+
+The bridge from raw telemetry (PR 6's traces, metrics, flight recorder)
+to causal answers: :func:`attribute_record` decomposes every lag window
+of a run into named causes (see :mod:`~repro.obs.attribution.causes`),
+:func:`annotate_document` folds the cause spans back into an exported
+Chrome trace, and :mod:`~repro.obs.attribution.diff` aligns two traces
+and names the first causally-diverging window.
+
+Imported as ``repro.obs.attribution`` (not re-exported from
+``repro.obs``): the engine consumes :mod:`repro.analysis.lagprofile`,
+which the base ``repro.obs`` package must stay import-light enough not
+to pull in.
+"""
+
+from repro.obs.attribution.annotate import annotate_document
+from repro.obs.attribution.causes import (
+    CAUSE_DESCRIPTIONS,
+    CAUSES,
+    cause_order_key,
+)
+from repro.obs.attribution.diff import (
+    TraceDiff,
+    WindowView,
+    diff_documents,
+    diff_trace_files,
+    extract_windows,
+    render_diff,
+)
+from repro.obs.attribution.engine import (
+    ATTRIBUTION_SCHEMA_VERSION,
+    RunAttribution,
+    WindowAttribution,
+    apportion_penalty,
+    attribute_record,
+    attribute_window,
+)
+from repro.obs.attribution.report import render_report
+
+__all__ = [
+    "ATTRIBUTION_SCHEMA_VERSION",
+    "CAUSES",
+    "CAUSE_DESCRIPTIONS",
+    "RunAttribution",
+    "TraceDiff",
+    "WindowAttribution",
+    "WindowView",
+    "annotate_document",
+    "apportion_penalty",
+    "attribute_record",
+    "attribute_window",
+    "cause_order_key",
+    "diff_documents",
+    "diff_trace_files",
+    "extract_windows",
+    "render_diff",
+    "render_report",
+]

@@ -1,0 +1,51 @@
+"""Annotate an exported Chrome trace with attribution cause spans.
+
+The ``repro-qoe attribute`` command replays a workload under a full
+tracing session, attributes every lag window, and then folds the cause
+segments back into the trace document as complete spans on a dedicated
+``attribution`` track — so Perfetto shows, directly under the lag spans,
+*why* each window stretched.  Counter tracks (``cpufreq_khz``,
+``governor_load``, ``boost_state``) are emitted live by the session
+during the replay; this module only adds the cause spans, which need the
+whole run to compute.
+"""
+
+from __future__ import annotations
+
+from repro.obs.attribution.engine import RunAttribution
+from repro.obs.trace import PID_DEVICE, TID_ATTRIBUTION
+
+
+def cause_span(
+    start_us: int, end_us: int, cause: str, label: str, penalty_us: int
+) -> dict:
+    """One attribution cause segment as a Chrome complete span."""
+    return {
+        "name": f"cause:{cause}",
+        "ph": "X",
+        "ts": start_us,
+        "dur": end_us - start_us,
+        "pid": PID_DEVICE,
+        "tid": TID_ATTRIBUTION,
+        "args": {"lag": label, "cause": cause, "window_penalty_us": penalty_us},
+    }
+
+
+def annotate_document(document: dict, attribution: RunAttribution) -> dict:
+    """Fold cause spans into a trace document (mutates and returns it).
+
+    Metadata events stay first; the body is re-sorted by ``(ts, tid)``
+    after insertion so annotated documents stay diff-stable, matching
+    :meth:`~repro.obs.trace.TraceCollector.to_chrome_trace` ordering.
+    """
+    events = document["traceEvents"]
+    metadata = [event for event in events if event.get("ph") == "M"]
+    body = [event for event in events if event.get("ph") != "M"]
+    for window in attribution.windows:
+        for start, end, cause in window.segments:
+            body.append(
+                cause_span(start, end, cause, window.label, window.penalty_us)
+            )
+    body.sort(key=lambda event: (event["ts"], event.get("tid", 0)))
+    document["traceEvents"] = metadata + body
+    return document

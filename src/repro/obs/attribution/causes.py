@@ -1,0 +1,78 @@
+"""The cause taxonomy: named reasons an irritation window stretched.
+
+Every microsecond of every lag window is assigned to exactly one cause,
+so per-cause irritation sums reconstruct the run total exactly.  The
+causes mirror the governor behaviours the paper characterises:
+
+``late_boost``
+    Time between the interaction start and the governor's first
+    reaction, when that reaction was an input-path boost — the boost
+    fired, but late (a missed/late input boost).
+``park_wake``
+    Same pre-reaction latency, but the first reaction came from a
+    sampling-timer decision instead of an input boost: the window
+    waited on the (possibly parked) periodic timer to fire and notice.
+``slow_ramp``
+    The core was busy below the window's peak OPP after the governor
+    had reacted — the staircase was still climbing (the conservative
+    governor's signature).
+``settle_hold``
+    The governor dropped the frequency *mid-window* and held low while
+    the core idled — it settled during an interaction it had not
+    finished servicing.
+``stale_load``
+    Idle below the peak OPP with no mid-window drop: the load window
+    lags the bursty interaction, so the governor has not raised yet.
+``compositor_backlog``
+    The trailing stretch after the core's last busy span: compute was
+    done, the window closed only on a later vsync/composition.
+``at_speed``
+    At the window's peak OPP (busy or idle): intrinsic service time no
+    governor decision could have shortened.
+``unattributed``
+    Safety bucket for time the rules above failed to cover; the engine
+    covers windows exhaustively, so this stays at (or very near) zero.
+"""
+
+from __future__ import annotations
+
+CAUSE_LATE_BOOST = "late_boost"
+CAUSE_PARK_WAKE = "park_wake"
+CAUSE_SLOW_RAMP = "slow_ramp"
+CAUSE_SETTLE_HOLD = "settle_hold"
+CAUSE_STALE_LOAD = "stale_load"
+CAUSE_COMPOSITOR = "compositor_backlog"
+CAUSE_AT_SPEED = "at_speed"
+CAUSE_UNATTRIBUTED = "unattributed"
+
+#: Canonical cause order: reports list causes this way, and penalty
+#: apportionment breaks remainder ties by this order — both must be
+#: deterministic for byte-identical output.
+CAUSES = (
+    CAUSE_LATE_BOOST,
+    CAUSE_PARK_WAKE,
+    CAUSE_SLOW_RAMP,
+    CAUSE_SETTLE_HOLD,
+    CAUSE_STALE_LOAD,
+    CAUSE_COMPOSITOR,
+    CAUSE_AT_SPEED,
+    CAUSE_UNATTRIBUTED,
+)
+
+CAUSE_DESCRIPTIONS = {
+    CAUSE_LATE_BOOST: "input boost arrived after the interaction began",
+    CAUSE_PARK_WAKE: "waiting on the sampling timer's first decision",
+    CAUSE_SLOW_RAMP: "busy below the window's peak OPP (ramp in progress)",
+    CAUSE_SETTLE_HOLD: "governor settled down mid-interaction and held low",
+    CAUSE_STALE_LOAD: "idle below peak: load window lagging the burst",
+    CAUSE_COMPOSITOR: "compute done, waiting on composition/vsync",
+    CAUSE_AT_SPEED: "already at the window's peak OPP (intrinsic time)",
+    CAUSE_UNATTRIBUTED: "not covered by any rule (should stay ~0)",
+}
+
+_ORDER = {cause: index for index, cause in enumerate(CAUSES)}
+
+
+def cause_order_key(cause: str) -> tuple[int, str]:
+    """Deterministic sort key: taxonomy order first, unknown names last."""
+    return (_ORDER.get(cause, len(CAUSES)), cause)

@@ -1,0 +1,244 @@
+"""Trace diffing: align two traces, find the first causal divergence.
+
+Generalises the flight recorder's first-divergence idea from debugging
+into analysis: load two exported Chrome trace documents (same workload
+under different governors, configs, or fastpath-vs-reference modes),
+align their lag windows by label, and report span-level deltas plus the
+first *causally-diverging* window — the earliest aligned window whose
+duration or cause decomposition differs.
+
+Only mode-invariant content takes part in the comparison: lag spans
+(``lag:*`` on the gestures track) and attribution cause spans
+(``cause:*`` on the attribution track).  Park spans, counter samples and
+decision instants are trace annotation — they may legitimately differ
+between fastpath modes — so a fastpath trace diffed against its
+``REPRO_FASTPATH=0`` twin reports zero diverging windows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.harness.figures import format_table
+from repro.obs.attribution.causes import cause_order_key
+from repro.obs.trace import TID_ATTRIBUTION, TID_GESTURES
+
+
+@dataclass(frozen=True, slots=True)
+class WindowView:
+    """One lag window as seen in a trace: its span plus cause totals."""
+
+    label: str
+    begin_us: int
+    duration_us: int
+    causes: tuple[tuple[str, int], ...]
+
+    def cause_map(self) -> dict[str, int]:
+        return dict(self.causes)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDiff:
+    """The alignment of two traces' lag windows."""
+
+    label_a: str
+    label_b: str
+    aligned: tuple[tuple[WindowView, WindowView], ...]
+    only_a: tuple[WindowView, ...]
+    only_b: tuple[WindowView, ...]
+
+    @property
+    def diverging(self) -> tuple[tuple[WindowView, WindowView], ...]:
+        """Aligned windows whose duration or cause decomposition differ."""
+        return tuple(
+            (a, b)
+            for a, b in self.aligned
+            if a.duration_us != b.duration_us or a.causes != b.causes
+        )
+
+    @property
+    def first_divergence(self) -> tuple[WindowView, WindowView] | None:
+        diverging = self.diverging
+        return diverging[0] if diverging else None
+
+
+def _process_name(document: dict) -> str | None:
+    for event in document.get("traceEvents", ()):
+        if (
+            isinstance(event, dict)
+            and event.get("ph") == "M"
+            and event.get("name") == "process_name"
+        ):
+            args = event.get("args") or {}
+            name = args.get("name")
+            if isinstance(name, str):
+                return name
+    return None
+
+
+def extract_windows(document: dict) -> list[WindowView]:
+    """Every lag window in a trace document, with its cause totals.
+
+    Lag labels repeat across a run (the same gesture fires many times),
+    so a cause span attaches to the same-labeled window whose time range
+    contains it — never to every window sharing the label.
+    """
+    lag_spans: list[tuple[int, str, int]] = []
+    cause_spans: list[tuple[int, int, str, str]] = []
+    for event in document.get("traceEvents", ()):
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        name = event.get("name", "")
+        if event.get("tid") == TID_GESTURES and name.startswith("lag:"):
+            lag_spans.append(
+                (event["ts"], name[len("lag:"):], event.get("dur", 0))
+            )
+        elif event.get("tid") == TID_ATTRIBUTION and name.startswith("cause:"):
+            args = event.get("args") or {}
+            label = args.get("lag")
+            if isinstance(label, str):
+                cause_spans.append(
+                    (event["ts"], event.get("dur", 0),
+                     name[len("cause:"):], label)
+                )
+    lag_spans.sort()
+    by_label: dict[str, list[tuple[int, int, int]]] = {}
+    for index, (begin, label, duration) in enumerate(lag_spans):
+        by_label.setdefault(label, []).append((begin, begin + duration, index))
+    per_window: list[dict[str, int]] = [{} for _ in lag_spans]
+    for ts, duration, cause, label in cause_spans:
+        for begin, end, index in by_label.get(label, ()):
+            if begin <= ts < end:
+                totals = per_window[index]
+                totals[cause] = totals.get(cause, 0) + duration
+                break
+    windows = []
+    for index, (begin, label, duration) in enumerate(lag_spans):
+        totals = per_window[index]
+        causes = tuple(
+            (cause, totals[cause])
+            for cause in sorted(totals, key=cause_order_key)
+        )
+        windows.append(
+            WindowView(
+                label=label, begin_us=begin, duration_us=duration, causes=causes
+            )
+        )
+    return windows
+
+
+def load_trace(path: str | Path) -> dict:
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable trace file {path}: {exc}") from exc
+    if not isinstance(document, dict) or not isinstance(
+        document.get("traceEvents"), list
+    ):
+        raise ReproError(
+            f"{path}: not a Chrome trace document (no traceEvents array)"
+        )
+    return document
+
+
+def diff_documents(
+    doc_a: dict,
+    doc_b: dict,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> TraceDiff:
+    """Align two trace documents' lag windows by label."""
+    windows_a = extract_windows(doc_a)
+    windows_b = extract_windows(doc_b)
+    by_label_b: dict[str, list[WindowView]] = {}
+    for window in windows_b:
+        by_label_b.setdefault(window.label, []).append(window)
+    aligned: list[tuple[WindowView, WindowView]] = []
+    only_a: list[WindowView] = []
+    for window in windows_a:
+        twins = by_label_b.get(window.label)
+        if twins:
+            aligned.append((window, twins.pop(0)))
+        else:
+            only_a.append(window)
+    only_b = [w for twins in by_label_b.values() for w in twins]
+    only_b.sort(key=lambda w: (w.begin_us, w.label))
+    return TraceDiff(
+        label_a=_process_name(doc_a) or label_a,
+        label_b=_process_name(doc_b) or label_b,
+        aligned=tuple(aligned),
+        only_a=tuple(only_a),
+        only_b=tuple(only_b),
+    )
+
+
+def diff_trace_files(path_a: str | Path, path_b: str | Path) -> TraceDiff:
+    return diff_documents(
+        load_trace(path_a), load_trace(path_b), str(path_a), str(path_b)
+    )
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """The trace-diff report: totals, per-cause deltas, first divergence."""
+    lines = [
+        f"trace-diff: A = {diff.label_a}",
+        f"            B = {diff.label_b}",
+        f"{len(diff.aligned)} aligned window(s), "
+        f"{len(diff.only_a)} only in A, {len(diff.only_b)} only in B",
+    ]
+    total_a = sum(a.duration_us for a, _ in diff.aligned)
+    total_b = sum(b.duration_us for _, b in diff.aligned)
+    lines.append(
+        f"aligned lag time: A {total_a} us, B {total_b} us "
+        f"(delta {total_b - total_a:+d} us)"
+    )
+    causes_a: dict[str, int] = {}
+    causes_b: dict[str, int] = {}
+    for a, b in diff.aligned:
+        for cause, us in a.causes:
+            causes_a[cause] = causes_a.get(cause, 0) + us
+        for cause, us in b.causes:
+            causes_b[cause] = causes_b.get(cause, 0) + us
+    union = sorted(set(causes_a) | set(causes_b), key=cause_order_key)
+    if union:
+        rows = []
+        for cause in union:
+            us_a = causes_a.get(cause, 0)
+            us_b = causes_b.get(cause, 0)
+            rows.append([cause, str(us_a), str(us_b), f"{us_b - us_a:+d}"])
+        lines.append("")
+        lines.append("per-cause window time (us)")
+        lines.append(format_table(["cause", "A", "B", "delta"], rows))
+    for label, windows in (("A", diff.only_a), ("B", diff.only_b)):
+        for window in windows:
+            lines.append(
+                f"only in {label}: {window.label!r} at {window.begin_us} us "
+                f"({window.duration_us} us)"
+            )
+    diverging = diff.diverging
+    lines.append("")
+    if not diverging:
+        lines.append("no causally-diverging windows")
+        return "\n".join(lines)
+    lines.append(f"{len(diverging)} causally-diverging window(s)")
+    first_a, first_b = diverging[0]
+    lines.append(
+        f"first divergence: {first_a.label!r} (opens at {first_a.begin_us} us)"
+    )
+    lines.append(
+        f"  duration: A {first_a.duration_us} us, B {first_b.duration_us} us "
+        f"(delta {first_b.duration_us - first_a.duration_us:+d} us)"
+    )
+    map_a = first_a.cause_map()
+    map_b = first_b.cause_map()
+    for cause in sorted(set(map_a) | set(map_b), key=cause_order_key):
+        us_a = map_a.get(cause, 0)
+        us_b = map_b.get(cause, 0)
+        if us_a != us_b:
+            lines.append(
+                f"  {cause}: A {us_a} us, B {us_b} us (delta {us_b - us_a:+d} us)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Deterministic text report for a run's cause profile."""
+
+from __future__ import annotations
+
+from repro.obs.attribution.causes import CAUSE_DESCRIPTIONS, CAUSES
+from repro.obs.attribution.engine import RunAttribution
+from repro.harness.figures import format_table
+
+
+def render_report(attribution: RunAttribution) -> str:
+    """Per-cause irritation breakdown for ``repro-qoe attribute``.
+
+    Everything here derives from simulation state, so the report is
+    byte-identical across ``--jobs`` values, warm caches, and fastpath
+    modes — CI diffs it directly.
+    """
+    total_penalty = attribution.total_penalty_us
+    per_penalty = attribution.per_cause_penalty_us()
+    per_window = attribution.per_cause_window_us()
+    window_counts = {cause: 0 for cause in CAUSES}
+    for window in attribution.windows:
+        for cause, us in window.window_by_cause:
+            if us:
+                window_counts[cause] = window_counts.get(cause, 0) + 1
+    rows = []
+    for cause in CAUSES:
+        window_us = per_window.get(cause, 0)
+        penalty_us = per_penalty.get(cause, 0)
+        if not window_us and not penalty_us:
+            continue
+        share = penalty_us / total_penalty if total_penalty else 0.0
+        rows.append(
+            [
+                cause,
+                str(window_counts.get(cause, 0)),
+                f"{window_us / 1000:.1f}",
+                f"{penalty_us / 1000:.1f}",
+                f"{100 * share:.1f}%",
+            ]
+        )
+    header = (
+        f"# attribution {attribution.workload} [{attribution.config}]: "
+        f"{len(attribution.windows)} window(s), total irritation "
+        f"{total_penalty / 1_000_000:.3f} s"
+    )
+    lines = [header]
+    if rows:
+        lines.append(
+            format_table(
+                ["cause", "windows", "window ms", "irritation ms", "share"],
+                rows,
+            )
+        )
+    else:
+        lines.append("(no lag windows)")
+    dominant = attribution.dominant_cause
+    if dominant is not None:
+        lines.append(
+            f"dominant cause: {dominant} — {CAUSE_DESCRIPTIONS[dominant]}"
+        )
+    else:
+        lines.append("dominant cause: none (zero irritation)")
+    return "\n".join(lines)

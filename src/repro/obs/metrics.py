@@ -16,8 +16,10 @@ from __future__ import annotations
 #: section is additive and self-versioned: bumping this does NOT bump
 #: ``RUN_RECORD_SCHEMA_VERSION`` (consumers must treat an unknown obs
 #: version as opaque), but any change to the snapshot's key layout or
-#: value meaning must bump it.
-OBS_SCHEMA_VERSION = 1
+#: value meaning must bump it.  Version 2 added the ``attribution``
+#: cause-profile summary (itself self-versioned, see
+#: ``repro.obs.attribution.engine.ATTRIBUTION_SCHEMA_VERSION``).
+OBS_SCHEMA_VERSION = 2
 
 #: Histogram bucket upper bounds: powers of four give ~2 buckets per
 #: decade over the simulator's natural ranges (µs-scale lags up to

@@ -96,38 +96,66 @@ def observed(session: "ObsSession"):
         uninstall()
 
 
-class ObsSession:
-    """One run's observability backends, any subset of three."""
+class DecisionLog:
+    """Mode-invariant governor decision context for attribution.
 
-    __slots__ = ("tracer", "metrics", "recorder")
+    Two append-only lists: input-boost timestamps and ``(ts, kind,
+    khz)`` decision events, both emitted only at actual frequency-change
+    moments — which makes the log identical across fastpath modes
+    (elided ticks are provably no-op) and bounds its size by the
+    transition count the RunRecord stores whole anyway.
+    """
+
+    __slots__ = ("boosts", "decisions")
+
+    def __init__(self) -> None:
+        self.boosts: list[int] = []
+        self.decisions: list[tuple[int, str, int]] = []
+
+
+class ObsSession:
+    """One run's observability backends, any subset of four."""
+
+    __slots__ = ("tracer", "metrics", "recorder", "decisions")
 
     def __init__(
         self,
         tracer: TraceCollector | None = None,
         metrics: MetricsRegistry | None = None,
         recorder: FlightRecorder | None = None,
+        decisions: "DecisionLog | None" = None,
     ) -> None:
         self.tracer = tracer
         self.metrics = metrics
         self.recorder = recorder
+        self.decisions = decisions
 
     @classmethod
     def for_run(cls) -> "ObsSession":
-        """The ``REPRO_TRACE=1`` per-run session: metrics + recorder.
+        """The ``REPRO_TRACE=1`` per-run session: metrics + recorder +
+        decision log.
 
         No trace collector — an unconsumed event list would grow
         per-run memory for nothing; the ``repro-qoe trace`` command
         installs :meth:`for_tracing` when someone wants the timeline.
+        The decision log does grow, but only at frequency-change
+        moments, which the record's transition trace stores whole
+        regardless — it feeds the attribution harvest.
         """
-        return cls(metrics=MetricsRegistry(), recorder=FlightRecorder())
+        return cls(
+            metrics=MetricsRegistry(),
+            recorder=FlightRecorder(),
+            decisions=DecisionLog(),
+        )
 
     @classmethod
     def for_tracing(cls) -> "ObsSession":
-        """Everything on: tracer + metrics + flight recorder."""
+        """Everything on: tracer + metrics + recorder + decision log."""
         return cls(
             tracer=TraceCollector(),
             metrics=MetricsRegistry(),
             recorder=FlightRecorder(),
+            decisions=DecisionLog(),
         )
 
     # --- emit vocabulary (called behind the per-site predicate) ---------------
@@ -147,12 +175,62 @@ class ObsSession:
                 "input_boost", ts, TID_GOVERNOR,
                 {"governor": governor, "target_khz": target_khz},
             )
+            self.tracer.counter("boost_state", ts, {"boosted": 1})
         if self.recorder is not None:
             self.recorder.record(
                 ts, "governor", f"input_boost target={target_khz}"
             )
         if self.metrics is not None:
             self.metrics.inc("governor.input_boosts")
+        if self.decisions is not None:
+            self.decisions.boosts.append(ts)
+
+    def governor_decision(
+        self,
+        ts: int,
+        governor: str,
+        kind: str,
+        khz: int,
+        waited_us: int = 0,
+    ) -> None:
+        """A governor changed frequency: the decision and its context.
+
+        Emitted only at actual frequency-change moments (ramp/step
+        up/down, jump-to-max, settle-to-efficient), never on no-op
+        samples — which keeps the stream mode-invariant under tick
+        elision.  ``waited_us`` carries the decision's latency context
+        where one exists (a floor hold before a ramp-down, the idle
+        stretch before a settle).
+        """
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"decision:{kind}", ts, TID_GOVERNOR,
+                {"governor": governor, "khz": khz, "waited_us": waited_us},
+            )
+            if kind in ("ramp_down", "settle_drop"):
+                self.tracer.counter("boost_state", ts, {"boosted": 0})
+        if self.recorder is not None:
+            self.recorder.record(
+                ts, "governor", f"decision:{kind} khz={khz}"
+            )
+        if self.metrics is not None:
+            self.metrics.inc("governor.decisions")
+            self.metrics.inc(f"governor.decisions.{kind}")
+        if self.decisions is not None:
+            self.decisions.decisions.append((ts, kind, khz))
+
+    def governor_load(self, ts: int, load: int) -> None:
+        """One sampled load value — a trace counter track only.
+
+        Load samples are mode-*dependent* (elided ticks never sample),
+        so they feed the annotated timeline and a metrics counter but
+        never the flight recorder or the decision log the attribution
+        engine consumes.
+        """
+        if self.tracer is not None:
+            self.tracer.counter("governor_load", ts, {"load": load})
+        if self.metrics is not None:
+            self.metrics.inc("governor.load_samples")
 
     def timer_parked(self, ts: int, governor: str, mode: str) -> None:
         if self.tracer is not None:
@@ -285,6 +363,7 @@ class ObsSession:
 
 
 __all__ = [
+    "DecisionLog",
     "OBS_SCHEMA_VERSION",
     "ObsError",
     "ObsSession",

@@ -28,6 +28,7 @@ TID_CPUFREQ = 2
 TID_TIMERS = 3
 TID_FRAMES = 4
 TID_GESTURES = 5
+TID_ATTRIBUTION = 6
 
 THREAD_NAMES = {
     TID_GOVERNOR: "governor",
@@ -35,6 +36,7 @@ THREAD_NAMES = {
     TID_TIMERS: "timers",
     TID_FRAMES: "frames",
     TID_GESTURES: "gestures",
+    TID_ATTRIBUTION: "attribution",
 }
 
 #: Chrome trace-event phases this module emits (M = metadata).

@@ -15,7 +15,9 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.trace import PHASES, PID_DEVICE, THREAD_NAMES
+from repro.core.errors import ReproError
+from repro.obs.attribution.causes import CAUSES
+from repro.obs.trace import PHASES, PID_DEVICE, THREAD_NAMES, TID_ATTRIBUTION
 
 #: Event-name prefixes a traced run must contain at least one of, per
 #: acceptance pillar: governor activity, cpufreq, parking, frames,
@@ -27,6 +29,26 @@ REQUIRED_FAMILIES: dict[str, tuple[str, ...]] = {
     "frames": ("frame",),
     "gesture windows": ("lag:", "window_open:"),
 }
+
+
+def _check_cause_span(where: str, event: dict) -> list[str]:
+    """Attribution cause spans: known cause name + a lag label to anchor."""
+    problems: list[str] = []
+    name = event.get("name", "")
+    if not (isinstance(name, str) and name.startswith("cause:")):
+        problems.append(
+            f"{where}: attribution-track spans must be named cause:<cause>"
+        )
+        return problems
+    cause = name[len("cause:"):]
+    if cause not in CAUSES:
+        problems.append(f"{where}: unknown attribution cause {cause!r}")
+    args = event.get("args")
+    if not isinstance(args, dict) or not isinstance(args.get("lag"), str):
+        problems.append(
+            f"{where}: cause span args must carry the 'lag' window label"
+        )
+    return problems
 
 
 def validate_document(document: object) -> list[str]:
@@ -70,6 +92,26 @@ def validate_document(document: object) -> list[str]:
             problems.append(f"{where}: instant scope must be t/p/g")
         if phase in ("X", "i") and event.get("tid") not in THREAD_NAMES:
             problems.append(f"{where}: tid not a known device track")
+        if phase == "C":
+            series = event.get("args")
+            if not isinstance(series, dict) or not series:
+                problems.append(
+                    f"{where}: counter args must be a non-empty object"
+                )
+            else:
+                for key, value in series.items():
+                    if (
+                        not isinstance(key, str)
+                        or isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                    ):
+                        problems.append(
+                            f"{where}: counter series {key!r} must map a "
+                            "string to a number"
+                        )
+                        break
+        if phase == "X" and event.get("tid") == TID_ATTRIBUTION:
+            problems.extend(_check_cause_span(where, event))
         seen_names.append(event.get("name", ""))
 
     missing_tracks = set(THREAD_NAMES) - declared_tids
@@ -104,6 +146,13 @@ def main(argv: list[str] | None = None) -> int:
     if problems:
         for problem in problems:
             print(f"INVALID: {problem}", file=sys.stderr)
+        # One-line summary error, in the CLI's ReproError shape, so a
+        # non-zero exit always ends with a single greppable line.
+        error = ReproError(
+            f"{arguments[0]}: {len(problems)} structural problem(s); "
+            f"first: {problems[0]}"
+        )
+        print(f"repro-qoe: error: {error}", file=sys.stderr)
         return 1
     print(f"OK: {arguments[0]} is a valid simulator trace", file=sys.stderr)
     return 0

@@ -80,3 +80,55 @@ def test_jobs_do_not_change_scores(artifacts_ds03, evaluator):
     assert serial.evaluate(configs, reps=1) == evaluator.evaluate(
         configs, reps=1
     )
+
+
+class TestDominantCauseOfRuns:
+    def run(self, attribution):
+        from repro.results import RunRecord
+
+        obs = None
+        if attribution is not None:
+            obs = {"attribution": attribution}
+        return RunRecord(
+            workload="w", config="c", rep=0, duration_us=1_000,
+            energy_j=1.0, dynamic_energy_j=0.5, busy_us=0,
+            transitions=[], busy_intervals=[], lags=(), obs=obs,
+        )
+
+    def test_none_when_untraced(self):
+        from repro.explore.evaluator import dominant_cause_of_runs
+
+        assert dominant_cause_of_runs([self.run(None)]) is None
+
+    def test_none_when_any_rep_lacks_attribution(self):
+        from repro.explore.evaluator import dominant_cause_of_runs
+
+        attributed = self.run({"per_cause_penalty_us": {"slow_ramp": 100}})
+        assert dominant_cause_of_runs([attributed, self.run(None)]) is None
+
+    def test_none_when_irritation_is_zero(self):
+        from repro.explore.evaluator import dominant_cause_of_runs
+
+        assert dominant_cause_of_runs(
+            [self.run({"per_cause_penalty_us": {}})]
+        ) is None
+
+    def test_sums_across_reps_and_breaks_ties_by_taxonomy_order(self):
+        from repro.explore.evaluator import dominant_cause_of_runs
+
+        runs = [
+            self.run({"per_cause_penalty_us": {"at_speed": 60, "park_wake": 50}}),
+            self.run({"per_cause_penalty_us": {"park_wake": 10}}),
+        ]
+        # 60 at_speed vs 60 park_wake: park_wake is earlier in the taxonomy.
+        assert dominant_cause_of_runs(runs) == "park_wake"
+
+    def test_traced_evaluation_scores_carry_a_cause(
+        self, artifacts_ds03, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        fresh = ExploreEvaluator(
+            artifacts_ds03, jobs=1, cache=ResultCache(tmp_path / "cache")
+        )
+        [score] = fresh.evaluate(["conservative"], reps=1)
+        assert score.dominant_cause is not None

@@ -73,3 +73,35 @@ class TestReport:
         assert render_frontier_report(scores, 0.1) == render_frontier_report(
             list(reversed(scores)), 0.1
         )
+
+
+class TestDominantCauseColumn:
+    def test_hidden_by_default(self):
+        report = render_frontier_report([score("a", 0.9, 5.0)], 0.25)
+        assert "dominant cause" not in report
+
+    def test_shown_when_requested(self):
+        attributed = CandidateScore(
+            config="a",
+            reps=1,
+            mean_energy_j=27.0,
+            energy_norm=0.9,
+            irritation_s=5.0,
+            dominant_cause="slow_ramp",
+        )
+        report = render_frontier_report(
+            [attributed, score("b", 1.1, 0.0)],
+            0.25,
+            baselines=[score("ondemand", 1.4, 1.0)],
+            show_causes=True,
+        )
+        assert "dominant cause" in report
+        rows = {
+            line.split()[1]: line
+            for line in report.splitlines()
+            if line.lstrip().startswith(("*", "b "))
+        }
+        assert "slow_ramp" in rows["a"]
+        # Unattributed scores (untraced runs, zero irritation) show '-'.
+        assert rows["b"].rstrip().endswith("-")
+        assert rows["ondemand"].rstrip().endswith("-")

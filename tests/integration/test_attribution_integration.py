@@ -1,0 +1,122 @@
+"""End-to-end attribution: exhaustive causes, mode-invariant diffs.
+
+The acceptance contract:
+
+* every golden-suite scenario's per-cause decomposition is exhaustive —
+  per-cause irritation sums to the run's total irritation and the
+  ``unattributed`` share stays within 5%;
+* a fastpath trace diffed against its ``REPRO_FASTPATH=0`` twin reports
+  zero causally-diverging windows (attribution consumes only
+  mode-invariant signals);
+* ``REPRO_TRACE=1`` harvests the attribution summary into the record's
+  ``obs`` section without perturbing the record itself.
+"""
+
+import pytest
+
+from repro import obs
+from repro.harness.experiment import record_workload, replay_run
+from repro.obs.attribution import (
+    annotate_document,
+    attribute_record,
+    diff_documents,
+)
+from repro.workloads.datasets import dataset
+
+# Dataset 03 is the irritation-rich golden workload (69 lags, nonzero
+# penalty under every stock governor); the synthesized scenarios are the
+# golden suite's persona grid.
+DATASET = "03"
+CONFIGS = ("conservative", "ondemand", "qoe_aware", "fixed:300000")
+
+SCENARIOS = [
+    "persona=gamer,seed=11,duration=45s",
+    "persona=reader,seed=11,duration=45s",
+    "persona=mixed,seed=11,duration=45s",
+]
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return record_workload(dataset(DATASET))
+
+
+def _traced_replay(artifacts, config):
+    session = obs.ObsSession.for_tracing()
+    with obs.observed(session):
+        record = replay_run(artifacts, config)
+    return record, session
+
+
+def _assert_exhaustive(record, attribution):
+    run_total = sum(
+        max(0, lag.duration_us - lag.threshold_us) for lag in record.lags
+    )
+    per_cause = attribution.per_cause_penalty_us()
+    assert sum(per_cause.values()) == run_total
+    assert attribution.total_penalty_us == run_total
+    assert attribution.unattributed_penalty_us <= run_total * 0.05
+    for window in attribution.windows:
+        covered = sum(end - start for start, end, _ in window.segments)
+        assert covered == window.duration_us
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_decomposition_exhaustive_for_every_config(artifacts, config):
+    record, session = _traced_replay(artifacts, config)
+    attribution = attribute_record(record, boosts=session.decisions.boosts)
+    _assert_exhaustive(record, attribution)
+    if attribution.total_penalty_us:
+        assert attribution.dominant_cause is not None
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_decomposition_exhaustive_for_golden_scenarios(scenario):
+    artifacts = record_workload(dataset(scenario))
+    record, session = _traced_replay(artifacts, "conservative")
+    attribution = attribute_record(record, boosts=session.decisions.boosts)
+    _assert_exhaustive(record, attribution)
+
+
+def test_fastpath_and_slowpath_traces_never_causally_diverge(
+    artifacts, monkeypatch
+):
+    """The tentpole invariant: trace-diff across fastpath modes is clean."""
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast_record, fast_session = _traced_replay(artifacts, "conservative")
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    slow_record, slow_session = _traced_replay(artifacts, "conservative")
+
+    fast_attr = attribute_record(
+        fast_record, boosts=fast_session.decisions.boosts
+    )
+    slow_attr = attribute_record(
+        slow_record, boosts=slow_session.decisions.boosts
+    )
+    assert fast_attr.summary() == slow_attr.summary()
+    assert fast_attr.windows == slow_attr.windows
+
+    diff = diff_documents(
+        annotate_document(
+            fast_session.tracer.to_chrome_trace("fast"), fast_attr
+        ),
+        annotate_document(
+            slow_session.tracer.to_chrome_trace("slow"), slow_attr
+        ),
+    )
+    assert len(diff.aligned) == len(fast_record.lags)
+    assert diff.only_a == () and diff.only_b == ()
+    assert diff.diverging == ()
+
+
+def test_trace_env_harvests_attribution_summary(artifacts, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    record = replay_run(artifacts, "conservative")
+    summary = record.obs["attribution"]
+    run_total = sum(
+        max(0, lag.duration_us - lag.threshold_us) for lag in record.lags
+    )
+    assert summary["total_penalty_us"] == run_total
+    assert sum(summary["per_cause_penalty_us"].values()) == run_total
+    assert summary["windows"] == len(record.lags)
+    assert summary["unattributed_penalty_us"] <= run_total * 0.05

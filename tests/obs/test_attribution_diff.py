@@ -1,0 +1,202 @@
+"""Tests for trace annotation and trace diffing."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs.attribution import (
+    annotate_document,
+    attribute_record,
+    diff_documents,
+    diff_trace_files,
+    extract_windows,
+    render_diff,
+)
+from repro.obs.trace import PID_DEVICE, TID_ATTRIBUTION, TID_GESTURES
+from tests.obs.test_attribution import make_record
+
+
+def lag_span(ts, label, dur):
+    return {
+        "name": f"lag:{label}",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": PID_DEVICE,
+        "tid": TID_GESTURES,
+        "args": {},
+    }
+
+
+def cause_span(ts, dur, cause, label):
+    return {
+        "name": f"cause:{cause}",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": PID_DEVICE,
+        "tid": TID_ATTRIBUTION,
+        "args": {"lag": label, "cause": cause, "window_penalty_us": 0},
+    }
+
+
+def document(events, name=None):
+    metadata = []
+    if name is not None:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PID_DEVICE,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": metadata + list(events)}
+
+
+class TestAnnotate:
+    def test_cause_spans_added_on_attribution_track(self):
+        attribution = attribute_record(
+            make_record(), boosts=[1_050]
+        )
+        doc = document([lag_span(1_000, "lag0", 1_000)])
+        annotated = annotate_document(doc, attribution)
+        causes = [
+            e
+            for e in annotated["traceEvents"]
+            if e.get("tid") == TID_ATTRIBUTION
+        ]
+        assert causes
+        assert all(e["name"].startswith("cause:") for e in causes)
+        covered = sum(e["dur"] for e in causes)
+        assert covered == sum(
+            w.duration_us for w in attribution.windows
+        )
+
+    def test_body_stays_sorted_and_metadata_first(self):
+        attribution = attribute_record(make_record())
+        doc = document([lag_span(4_000, "b", 10), lag_span(1_000, "a", 10)],
+                       name="w [interactive]")
+        annotated = annotate_document(doc, attribution)
+        events = annotated["traceEvents"]
+        assert events[0]["ph"] == "M"
+        body = [e for e in events if e["ph"] != "M"]
+        keys = [(e["ts"], e.get("tid", 0)) for e in body]
+        assert keys == sorted(keys)
+
+
+class TestExtract:
+    def test_windows_sorted_with_cause_totals(self):
+        doc = document(
+            [
+                lag_span(500, "b", 200),
+                lag_span(100, "a", 300),
+                cause_span(100, 120, "park_wake", "a"),
+                cause_span(220, 180, "at_speed", "a"),
+            ]
+        )
+        windows = extract_windows(doc)
+        assert [w.label for w in windows] == ["a", "b"]
+        assert windows[0].causes == (("park_wake", 120), ("at_speed", 180))
+        assert windows[1].causes == ()
+
+    def test_duplicate_labels_attach_causes_by_containment(self):
+        # The same gesture label repeats across a run; each cause span
+        # must land only on the window whose time range contains it.
+        doc = document(
+            [
+                lag_span(100, "a", 300),
+                cause_span(100, 300, "at_speed", "a"),
+                lag_span(900, "a", 100),
+                cause_span(900, 100, "park_wake", "a"),
+            ]
+        )
+        windows = extract_windows(doc)
+        assert [w.causes for w in windows] == [
+            (("at_speed", 300),),
+            (("park_wake", 100),),
+        ]
+
+    def test_park_and_counter_events_are_ignored(self):
+        doc = document(
+            [
+                lag_span(100, "a", 300),
+                {"name": "parked: idle", "ph": "X", "ts": 0, "dur": 50,
+                 "pid": PID_DEVICE, "tid": 3, "args": {}},
+                {"name": "cpufreq_khz", "ph": "C", "ts": 0,
+                 "pid": PID_DEVICE, "args": {"khz": 300000}},
+            ]
+        )
+        assert len(extract_windows(doc)) == 1
+
+
+class TestDiff:
+    def base_doc(self, name="run A"):
+        return document(
+            [
+                lag_span(100, "a", 300),
+                cause_span(100, 300, "at_speed", "a"),
+                lag_span(900, "b", 100),
+                cause_span(900, 100, "slow_ramp", "b"),
+            ],
+            name=name,
+        )
+
+    def test_identical_documents_do_not_diverge(self):
+        diff = diff_documents(self.base_doc(), copy.deepcopy(self.base_doc()))
+        assert len(diff.aligned) == 2
+        assert diff.diverging == ()
+        assert diff.first_divergence is None
+        assert "no causally-diverging windows" in render_diff(diff)
+
+    def test_duration_change_diverges(self):
+        other = self.base_doc("run B")
+        other["traceEvents"][1]["dur"] = 350
+        diff = diff_documents(self.base_doc(), other)
+        assert len(diff.diverging) == 1
+        first = diff.first_divergence
+        assert first[0].label == "a"
+        text = render_diff(diff)
+        assert "first divergence: 'a'" in text
+        assert "delta +50 us" in text
+
+    def test_cause_change_diverges_even_at_same_duration(self):
+        other = self.base_doc()
+        other["traceEvents"][2]["name"] = "cause:park_wake"
+        other["traceEvents"][2]["args"]["cause"] = "park_wake"
+        diff = diff_documents(self.base_doc(), other)
+        assert len(diff.diverging) == 1
+
+    def test_unaligned_windows_reported(self):
+        other = self.base_doc()
+        del other["traceEvents"][3:]  # drop window 'b'
+        diff = diff_documents(self.base_doc(), other)
+        assert [w.label for w in diff.only_a] == ["b"]
+        assert "only in A: 'b'" in render_diff(diff)
+
+    def test_labels_come_from_process_name(self):
+        diff = diff_documents(self.base_doc("run A"), self.base_doc("run B"))
+        assert diff.label_a == "run A"
+        assert diff.label_b == "run B"
+
+    def test_diff_trace_files_roundtrip(self, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        path_a.write_text(json.dumps(self.base_doc()), encoding="utf-8")
+        path_b.write_text(json.dumps(self.base_doc()), encoding="utf-8")
+        assert diff_trace_files(path_a, path_b).diverging == ()
+
+    def test_unreadable_file_raises_repro_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError):
+            diff_trace_files(bad, bad)
+
+    def test_non_trace_document_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ReproError):
+            diff_trace_files(path, path)

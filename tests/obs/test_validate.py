@@ -1,0 +1,109 @@
+"""Validator tests for counter samples and attribution cause spans."""
+
+from repro.obs.trace import TID_ATTRIBUTION, TID_GESTURES, TraceCollector
+from repro.obs.validate import main, validate_document
+from tests.obs.test_obs_trace import _full_collector
+
+
+def _annotated_collector() -> TraceCollector:
+    tracer = _full_collector()
+    tracer.complete(
+        "cause:park_wake", 40_000, 60_000, TID_ATTRIBUTION,
+        {"lag": "tap:0", "cause": "park_wake", "window_penalty_us": 0},
+    )
+    return tracer
+
+
+class TestCounterValidation:
+    def test_valid_counter_accepted(self):
+        assert validate_document(_full_collector().to_chrome_trace()) == []
+
+    def test_counter_without_args_rejected(self):
+        document = _full_collector().to_chrome_trace()
+        document["traceEvents"].append(
+            {"name": "empty", "ph": "C", "ts": 0, "pid": 1, "args": {}}
+        )
+        assert any(
+            "counter args must be a non-empty object" in problem
+            for problem in validate_document(document)
+        )
+
+    def test_counter_with_non_numeric_series_rejected(self):
+        document = _full_collector().to_chrome_trace()
+        document["traceEvents"].append(
+            {"name": "bad", "ph": "C", "ts": 0, "pid": 1,
+             "args": {"khz": "fast"}}
+        )
+        assert any(
+            "must map a string to a number" in problem
+            for problem in validate_document(document)
+        )
+
+    def test_boolean_series_value_rejected(self):
+        # bool is an int subclass; the validator must not be fooled.
+        document = _full_collector().to_chrome_trace()
+        document["traceEvents"].append(
+            {"name": "bad", "ph": "C", "ts": 0, "pid": 1,
+             "args": {"flag": True}}
+        )
+        assert any(
+            "must map a string to a number" in problem
+            for problem in validate_document(document)
+        )
+
+
+class TestCauseSpanValidation:
+    def test_valid_cause_span_accepted(self):
+        assert validate_document(_annotated_collector().to_chrome_trace()) == []
+
+    def test_unknown_cause_rejected(self):
+        tracer = _full_collector()
+        tracer.complete(
+            "cause:gremlins", 0, 10, TID_ATTRIBUTION, {"lag": "tap:0"}
+        )
+        assert any(
+            "unknown attribution cause 'gremlins'" in problem
+            for problem in validate_document(tracer.to_chrome_trace())
+        )
+
+    def test_attribution_span_must_be_named_cause(self):
+        tracer = _full_collector()
+        tracer.complete("not-a-cause", 0, 10, TID_ATTRIBUTION)
+        assert any(
+            "must be named cause:<cause>" in problem
+            for problem in validate_document(tracer.to_chrome_trace())
+        )
+
+    def test_cause_span_must_anchor_a_lag_label(self):
+        tracer = _full_collector()
+        tracer.complete("cause:at_speed", 0, 10, TID_ATTRIBUTION, {"x": 1})
+        assert any(
+            "must carry the 'lag' window label" in problem
+            for problem in validate_document(tracer.to_chrome_trace())
+        )
+
+    def test_cause_prefix_on_other_tracks_not_checked(self):
+        # Only the attribution track carries the cause-span contract.
+        tracer = _full_collector()
+        tracer.complete("cause:whatever", 0, 10, TID_GESTURES)
+        assert validate_document(tracer.to_chrome_trace()) == []
+
+
+class TestMainSummaryLine:
+    def test_failure_ends_with_one_line_error(self, tmp_path, capsys):
+        tracer = _full_collector()
+        tracer.complete("cause:gremlins", 0, 10, TID_ATTRIBUTION, {"lag": "x"})
+        bad = tmp_path / "bad.json"
+        tracer.write(bad)
+        assert main([str(bad)]) == 1
+        err_lines = capsys.readouterr().err.strip().splitlines()
+        assert err_lines[-1].startswith(f"repro-qoe: error: {bad}: ")
+        assert "structural problem(s); first:" in err_lines[-1]
+
+    def test_success_is_quiet_on_stdout(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        _annotated_collector().write(good)
+        assert main([str(good)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "OK" in captured.err
