@@ -88,9 +88,7 @@ class OnlineMatcher(FrameTap):
             if scan.begin_frame < self._start_frame:
                 scan.out_of_range = True
                 continue
-            scan.mask = build_mask(
-                scan.annotation.image.shape, scan.annotation.mask_rects
-            )
+            self._activate(scan)
             self._active.append(scan)
             obs = self._obs
             if obs is not None:
@@ -104,12 +102,7 @@ class OnlineMatcher(FrameTap):
         finished: list[_ScanState] | None = None
         for scan in self._active:
             annotation = scan.annotation
-            matches = frames_equal(
-                segment.content,
-                annotation.image,
-                scan.mask,
-                annotation.tolerance_px,
-            )
+            matches = self._matches(scan, segment)
             if matches and not scan.in_match:
                 scan.occurrences += 1
                 if scan.occurrences == annotation.occurrence:
@@ -125,6 +118,30 @@ class OnlineMatcher(FrameTap):
 
     def on_stop(self, end_frame: int) -> None:
         self._end_frame = end_frame
+
+    # --- comparison strategy ----------------------------------------------------
+
+    def _activate(self, scan: _ScanState) -> None:
+        """Prepare a scan whose window just opened (builds its mask)."""
+        scan.mask = build_mask(
+            scan.annotation.image.shape, scan.annotation.mask_rects
+        )
+
+    def _matches(self, scan: _ScanState, segment) -> bool:
+        """Whether a segment's content matches the scan's ending image.
+
+        The demand evaluation pass substitutes a precomputed-verdict
+        lookup here (its segments carry interned state ids, not pixels);
+        everything else — activation order, occurrence counting, the
+        profile contract — is shared.
+        """
+        annotation = scan.annotation
+        return frames_equal(
+            segment.content,
+            annotation.image,
+            scan.mask,
+            annotation.tolerance_px,
+        )
 
     # --- results ---------------------------------------------------------------
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.geometry import Point, Rect
 from repro.kernel.task import PRIORITY_BACKGROUND
+from repro.kernel.workchains import PeriodicWorkChain
 from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_SIMPLE
 from repro.uifw.app import App
 from repro.uifw.widgets import Icon, TextureBlock, Widget
@@ -61,7 +62,16 @@ class LauncherApp(App):
         self._widget.on_tap = lambda _p: self._open_from_widget()
         self.view.add(self._widget)
         self._layout_icons()
-        self._schedule_widget_refresh()
+        self._refresh_chain = PeriodicWorkChain(
+            self.context.engine,
+            self.context.scheduler,
+            f"{self.name}:widget-refresh",
+            WIDGET_REFRESH_PERIOD_US,
+            WIDGET_REFRESH_CYCLES,
+            priority=PRIORITY_BACKGROUND,
+            on_fire=self._widget_refreshed,
+        )
+        self._refresh_chain.start()
 
     # --- icon grid -----------------------------------------------------------------
 
@@ -102,24 +112,10 @@ class LauncherApp(App):
 
     # --- widget refresh --------------------------------------------------------------
 
-    def _schedule_widget_refresh(self) -> None:
-        self.context.engine.schedule_after(
-            WIDGET_REFRESH_PERIOD_US, self._refresh_widget
-        )
-
-    def _refresh_widget(self) -> None:
-        def refreshed() -> None:
-            self._widget.refresh_count += 1
-            if self.context.wm.foreground is self:
-                self.context.invalidate()
-
-        self.context.post_work(
-            "widget-refresh",
-            WIDGET_REFRESH_CYCLES,
-            refreshed,
-            priority=PRIORITY_BACKGROUND,
-        )
-        self._schedule_widget_refresh()
+    def _widget_refreshed(self) -> None:
+        self._widget.refresh_count += 1
+        if self.context.wm.foreground is self:
+            self.context.invalidate()
 
     # --- affordances ------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.errors import SimulationError
 from repro.core.geometry import Point, Rect
 from repro.kernel.task import PRIORITY_BACKGROUND
+from repro.kernel.workchains import PeriodicWorkChain
 from repro.metrics.hci import CATEGORY_COMMON, CATEGORY_SIMPLE, CATEGORY_TYPING
 from repro.uifw.app import App, Stage
 from repro.uifw.gestures import Swipe
@@ -220,6 +221,15 @@ class MusicApp(App):
         self._play_button = Button(Rect(26, 76, 20, 13), "play")
         self._play_button.on_tap = lambda _p: self._toggle()
         self._music_view.add(self._play_button)
+        self._decode_chain = PeriodicWorkChain(
+            self.context.engine,
+            self.context.scheduler,
+            f"{self.name}:decode",
+            MUSIC_DECODE_PERIOD_US,
+            MUSIC_DECODE_CYCLES,
+            priority=PRIORITY_BACKGROUND,
+            on_fire=self._decoded,
+        )
 
     def cold_start_stages(self) -> list[Stage]:
         return [(190e6, 10_000), (210e6, 0)]
@@ -235,27 +245,17 @@ class MusicApp(App):
             self.context.invalidate()
             token.complete(self.context.now())
             if self.playing:
-                self._schedule_decode()
+                self._decode_chain.start()
+            else:
+                self._decode_chain.stop()
 
         self.context.post_work("toggle", self.TOGGLE_CYCLES, done)
 
-    def _schedule_decode(self) -> None:
-        self.context.engine.schedule_after(MUSIC_DECODE_PERIOD_US, self._decode)
-
-    def _decode(self) -> None:
-        if not self.playing:
-            return
-
-        def decoded() -> None:
-            self._decode_count += 1
-            self._seek_bar.fraction = (self._decode_count % 90) / 90
-            if self.context.wm.foreground is self:
-                self.context.invalidate()
-
-        self.context.post_work(
-            "decode", MUSIC_DECODE_CYCLES, decoded, priority=PRIORITY_BACKGROUND
-        )
-        self._schedule_decode()
+    def _decoded(self) -> None:
+        self._decode_count += 1
+        self._seek_bar.fraction = (self._decode_count % 90) / 90
+        if self.context.wm.foreground is self:
+            self.context.invalidate()
 
     def dynamic_regions(self) -> list[Rect]:
         """Seek-bar advances on its own clock while playing."""

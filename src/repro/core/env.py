@@ -35,6 +35,11 @@ KNOWN_FLAGS: dict[str, tuple[bool, str]] = {
         False,
         "observability: per-run metrics + flight recorder (1 = on)",
     ),
+    "REPRO_DEMAND": (
+        True,
+        "kernel-only sweep evaluation over demand traces "
+        "(0 = full replay per cell)",
+    ),
 }
 
 # name -> (raw environ string at parse time, parsed value).  The raw

@@ -1,0 +1,371 @@
+"""The kernel-only evaluation pass: replay recorded demand, vary the response.
+
+``demand_replay_run`` is the sweep-side counterpart of
+:func:`~repro.harness.experiment.replay_run`: it produces the same
+:class:`~repro.results.RunRecord` for a (config, rep) cell, but drives
+only the device/governor/cpufreq/energy kernel.  Apps, window manager,
+gesture decoding and UI composition are replaced by a
+:class:`DemandTrace` walk:
+
+* recorded **task** nodes are re-submitted to the real scheduler with
+  their captured name/cycles/priority; when the *evaluation* kernel
+  completes one — at whatever time the governor under study produces —
+  its recorded children execute;
+* recorded **timer** nodes re-arm the same engine delays (IO gaps,
+  stage pauses);
+* recorded **invalidate** nodes request composition on real vsync
+  boundaries, tracking which interned state the screen would show; the
+  lag profile is computed pixel-free from the trace's precomputed match
+  table (:mod:`repro.demand.tablematch`), falling back to painting real
+  frames through the capture card and online matcher when a caller
+  needs them (a ``frame_tap``, or a trace without a table);
+* recorded **chain** nodes start/stop live
+  :class:`~repro.kernel.workchains.PeriodicWorkChain` loops, which fire
+  as many times as *this* config's gate timing allows;
+* background services run **live** with the same per-cell RNG stream a
+  full replay would use — they are response-side noise, not demand.
+
+The governor→timing feedback loop is handled by the trace's guards: the
+scripted user only gestures at foreground quiescence, and the capture
+runs at the pinned *minimum* frequency, so every config completes
+foreground work no later than the capture did and the guards hold —
+unless a config's lag pattern genuinely perturbs a recorded think-time
+boundary, in which case the pass raises :class:`DemandFallback` and the
+fleet re-runs that cell as a full replay (counted in telemetry).
+
+Parity contract: energy, irritation and transition digests are
+bit-identical to a full replay of the same cell.  Frame digests are
+*not* part of the contract — the evaluation pass drops the window
+manager's minute/animation tick frames and repaints masked or
+never-matching time-varying pixels (clock, spinner phase, cursor
+blink) from capture time, none of which can move a match time.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.errors import MatchError, ReproError
+from repro.demand.tablematch import BLANK_STATE, ShadowStreamer, TableMatcher
+from repro.demand.trace import (
+    KIND_CHAIN_START,
+    KIND_CHAIN_STOP,
+    KIND_INVALIDATE,
+    KIND_TASK,
+    KIND_TIMER,
+    DemandNode,
+    DemandTrace,
+)
+from repro.kernel.task import PRIORITY_FOREGROUND, Task
+from repro.kernel.workchains import PeriodicWorkChain
+
+
+class DemandFallback(ReproError):
+    """This cell cannot be evaluated on the kernel pass — run it full.
+
+    ``reason`` is a short machine-readable tag the fleet telemetry
+    aggregates (``guard_mismatch``, ``match_error``).
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DemandProgram:
+    """A demand trace preprocessed for repeated evaluation.
+
+    Sweeping N cells over one trace repeats per-cell setup work — child
+    indexing, match-set construction, state decompression — that depends
+    only on the trace.  A fleet worker builds one program per trace and
+    evaluates every assigned cell against it.
+    """
+
+    def __init__(self, trace: DemandTrace) -> None:
+        self.trace = trace
+        setup, by_input, by_node = trace.children_by_parent()
+        self.setup = setup
+        self.by_input = by_input
+        self.children: list = [
+            by_node.get(node_id) for node_id in range(len(trace.nodes))
+        ]
+        self.match_sets: list[frozenset[int]] | None = None
+        if trace.match_states is not None:
+            blank = frozenset(trace.blank_matches)
+            self.match_sets = [
+                frozenset(states)
+                | ({BLANK_STATE} if index in blank else frozenset())
+                for index, states in enumerate(trace.match_states)
+            ]
+        self._states: list | None = None
+
+    def states(self) -> list:
+        """Decompressed framebuffer states (pixel path only, lazy)."""
+        if self._states is None:
+            trace = self.trace
+            shape = (trace.height, trace.width)
+            self._states = [
+                np.frombuffer(
+                    zlib.decompress(blob), dtype=np.uint8
+                ).reshape(shape)
+                for blob in trace.states
+            ]
+        return self._states
+
+
+class _DemandExecutor:
+    """Walks a demand trace over a live device kernel.
+
+    With ``pixels=False`` (the default sweep path) invalidates only
+    track the current interned state id — no state is decompressed and
+    nothing is painted; the caller derives the lag profile from the
+    trace's match table.  With ``pixels=True`` the executor installs a
+    composer that repaints the interned states, so a capture card sees
+    real frames.
+    """
+
+    def __init__(self, device, program: DemandProgram, pixels: bool) -> None:
+        self._engine = device.engine
+        self._scheduler = device.scheduler
+        self._display = device.display
+        self._setup = program.setup
+        self._by_input = program.by_input
+        self._children = program.children
+        self._guards = program.trace.guards
+        self._pixels = pixels
+        self._states: list | None = None
+        self._frame = None
+        if pixels:
+            self._states = program.states()
+            device.display.set_composer(self._paint)
+        #: Interned state id the screen would show (BLANK_STATE at boot).
+        self.current_state = BLANK_STATE
+        self._chains: dict[int, PeriodicWorkChain] = {}
+        self._fg_inflight: set[int] = set()
+        self._next_ordinal = 0
+
+    # --- composition -------------------------------------------------------------
+
+    def _paint(self, framebuffer) -> None:
+        if self._frame is not None:
+            framebuffer[:] = self._frame
+
+    # --- trace walking -----------------------------------------------------------
+
+    def run_setup(self) -> None:
+        """Execute the app-installation phase (engine time 0)."""
+        self._run_children(self._setup)
+
+    def on_input(self, event) -> None:
+        """Input-node observer: check the guard, run the ordinal's demand."""
+        ordinal = self._next_ordinal
+        self._next_ordinal = ordinal + 1
+        expected = self._guards.get(ordinal, ())
+        actual = tuple(sorted(self._fg_inflight))
+        if actual != expected:
+            raise DemandFallback(
+                f"input {ordinal} at t={self._engine.now}: foreground tasks "
+                f"in flight {list(actual)} != recorded {list(expected)} — "
+                "this config perturbs recorded think-time boundaries",
+                reason="guard_mismatch",
+            )
+        children = self._by_input.get(ordinal)
+        if children:
+            self._run_children(children)
+
+    def _run_children(self, nodes: list[DemandNode]) -> None:
+        for node in nodes:
+            self._execute(node)
+
+    def _execute(self, node: DemandNode) -> None:
+        kind = node.kind
+        if kind == KIND_TASK:
+            node_id = node.node_id
+            foreground = node.priority == PRIORITY_FOREGROUND
+            if foreground:
+                self._fg_inflight.add(node_id)
+            children = self._children[node_id]
+
+            def completed(
+                _task, node_id=node_id, foreground=foreground, children=children
+            ) -> None:
+                if foreground:
+                    self._fg_inflight.discard(node_id)
+                if children:
+                    self._run_children(children)
+
+            self._scheduler.submit(
+                Task(
+                    node.name,
+                    node.cycles,
+                    priority=node.priority,
+                    on_complete=completed,
+                )
+            )
+        elif kind == KIND_INVALIDATE:
+            self.current_state = node.state_id
+            if self._pixels:
+                self._frame = self._states[node.state_id]
+            self._display.invalidate()
+        elif kind == KIND_TIMER:
+            children = self._children[node.node_id]
+            # A childless timer produced no recorded demand; skipping it
+            # is invisible to the kernel.
+            if children:
+                self._engine.schedule_after(
+                    node.delay_us,
+                    lambda children=children: self._run_children(children),
+                )
+        elif kind == KIND_CHAIN_START:
+            chain = self._chains.get(node.chain_key)
+            if chain is None:
+                chain = PeriodicWorkChain(
+                    self._engine,
+                    self._scheduler,
+                    node.name,
+                    node.period_us,
+                    node.cycles,
+                    priority=node.priority,
+                )
+                self._chains[node.chain_key] = chain
+            chain.start()
+        elif kind == KIND_CHAIN_STOP:
+            chain = self._chains.get(node.chain_key)
+            if chain is not None:
+                chain.stop()
+
+
+def demand_replay_run(
+    artifacts,
+    trace: DemandTrace | DemandProgram,
+    config: str,
+    rep: int = 0,
+    master_seed: int | None = None,
+    device_config=None,
+    frame_tap=None,
+    **governor_tunables,
+):
+    """Evaluate one (config, rep) cell over recorded demand.
+
+    Mirrors :func:`~repro.harness.experiment.replay_run` cell for cell:
+    same RNG forks, same capture/matcher pipeline, same
+    :class:`~repro.results.RunRecord` shape including the observability
+    harvest.  Raises :class:`DemandFallback` when the cell needs a full
+    replay.  ``trace`` may be a prebuilt :class:`DemandProgram` to share
+    preprocessing across a sweep's cells.
+    """
+    from repro.analysis import Matcher, OnlineMatcher
+    from repro.apps.services import BackgroundServices
+    from repro.capture import CaptureCard, stream_enabled
+    from repro.core.rng import RngStreams
+    from repro.device.device import Device
+    from repro.device.display import frame_index_at
+    from repro.harness.experiment import DEFAULT_MASTER_SEED, RUN_TAIL_US
+    from repro.obs import session as obs_session
+    from repro.replay import ReplayAgent
+    from repro.results import RunRecord
+    from repro.scenarios.profiles import device_config_for
+
+    if master_seed is None:
+        master_seed = DEFAULT_MASTER_SEED
+    obs = obs_session.active()
+    owns_session = False
+    if obs is None and obs_session.trace_enabled():
+        obs = obs_session.ObsSession.for_run()
+        obs_session.install(obs)
+        owns_session = True
+    try:
+        streams = RngStreams(master_seed).fork(
+            f"replay:{artifacts.name}:{config}:{rep}"
+        )
+        if device_config is None:
+            device_config = device_config_for(artifacts.spec)
+        program = (
+            trace if isinstance(trace, DemandProgram) else DemandProgram(trace)
+        )
+        # The pixel-free table path needs a precomputed match table; a
+        # frame tap needs real frames, so it forces the pixel path.
+        pixels = frame_tap is not None or program.match_sets is None
+        device = Device(device_config)
+        executor = _DemandExecutor(device, program, pixels)
+        # Same observer order as a full replay: the window manager's
+        # decoder registers before the governor's input boost; here the
+        # executor takes the decoder's slot.
+        device.touchscreen.node.add_observer(executor.on_input)
+        executor.run_setup()
+        services = BackgroundServices(
+            device.engine, device.scheduler, streams.stream("services")
+        )
+        services.start()
+        device.set_governor(config, **governor_tunables)
+        device.cpu.enable_busy_trace()
+        agent = ReplayAgent(device.engine, device.input_subsystem)
+        agent.schedule(artifacts.trace)
+        card = online = shadow = None
+        streaming = stream_enabled()
+        if pixels:
+            card = CaptureCard(device.display)
+            if streaming:
+                online = OnlineMatcher(artifacts.database)
+                card.add_tap(online)
+            if frame_tap is not None:
+                card.add_tap(frame_tap)
+            card.start(device.engine.now, streaming=streaming)
+        else:
+            matcher = TableMatcher(artifacts.database, program.match_sets)
+            shadow = ShadowStreamer(matcher)
+            device.display.add_frame_observer(
+                lambda index, _frame: shadow.record(
+                    index, executor.current_state
+                )
+            )
+            # The capture card's start seed: whatever is on screen right
+            # now — nothing has composed yet, so the blank boot frame.
+            shadow.record(frame_index_at(device.engine.now), BLANK_STATE)
+
+        run_window = artifacts.duration_us + RUN_TAIL_US
+        device.run_for(run_window)
+
+        try:
+            if pixels:
+                video = card.stop(device.engine.now)
+                if streaming:
+                    profile = online.profile()
+                else:
+                    profile = Matcher(artifacts.database).match(video)
+            else:
+                shadow.finalize(frame_index_at(device.engine.now) + 1)
+                profile = matcher.profile()
+        except MatchError as exc:
+            raise DemandFallback(
+                f"cell ({config!r}, rep {rep}): replayed frames no longer "
+                f"match the annotation database: {exc}",
+                reason="match_error",
+            ) from None
+        record = RunRecord(
+            workload=artifacts.name,
+            config=config,
+            rep=rep,
+            duration_us=run_window,
+            energy_j=device.cpu.energy_joules(),
+            dynamic_energy_j=device.cpu.dynamic_energy_joules(),
+            busy_us=device.cpu.busy_time_total(),
+            transitions=device.policy.transition_points(),
+            busy_intervals=device.cpu.busy_pairs(),
+            lags=profile.lags,
+        )
+        if obs is not None:
+            snapshot = obs.harvest_run(device.engine, governor=device.governor)
+            if obs.decisions is not None:
+                from repro.obs.attribution import attribute_record
+
+                snapshot["attribution"] = attribute_record(
+                    record, boosts=obs.decisions.boosts
+                ).summary()
+            record.obs = snapshot
+        return record
+    finally:
+        if owns_session:
+            obs_session.uninstall()

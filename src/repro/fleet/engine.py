@@ -22,7 +22,16 @@ produced, but
 * **failure-capturing** — an exception inside a worker is caught there
   and shipped back as a :class:`WorkerFailure` (with its traceback text);
   the remaining cells still run, then the engine raises a single
-  :class:`FleetError` describing every failed cell.
+  :class:`FleetError` describing every failed cell,
+* **demand-accelerated** — unless ``REPRO_DEMAND=0``, the engine captures
+  the workload's demand trace once (or loads it from the cache-adjacent
+  :class:`~repro.demand.store.DemandTraceStore`), ships it to every
+  worker at pool initialisation, and evaluates each cell with the
+  kernel-only :func:`~repro.demand.replayer.demand_replay_run`.  A cell
+  whose replay diverges from the trace's contract raises
+  :class:`~repro.demand.replayer.DemandFallback` and is transparently
+  re-run as a full replay; :class:`FleetStats` counts both populations
+  and every fallback reason.
 """
 
 from __future__ import annotations
@@ -76,8 +85,17 @@ class FleetStats:
     """What one :meth:`FleetEngine.run` actually did.
 
     ``run_telemetry`` holds one worker-side measurement per *executed*
-    cell — ``{"pid", "wall_s", "cpu_s"}`` — in completion order (cached
-    cells execute nothing and so have none).
+    cell — ``{"pid", "wall_s", "cpu_s", "mode"}`` plus a
+    ``fallback_reason`` tag when the demand pass bailed out — in
+    completion order (cached cells execute nothing and so have none).
+
+    The demand fields describe the trace-once/replay-many split:
+    ``demand_cells``/``full_cells`` partition the successfully executed
+    cells by evaluation pass, ``fallback_cells`` counts demand cells
+    that had to re-run as full replays (every one is also a
+    ``full_cells`` member), and ``demand_trace_source`` records where
+    the trace came from (``"cache"``, ``"captured"``, or None when the
+    run used full replays throughout).
     """
 
     total: int = 0
@@ -86,6 +104,13 @@ class FleetStats:
     stored: int = 0
     failures: int = 0
     run_telemetry: list[dict] = field(default_factory=list)
+    demand_cells: int = 0
+    full_cells: int = 0
+    fallback_cells: int = 0
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    demand_trace_source: str | None = None
+    demand_capture_s: float | None = None
+    demand_capture_error: str | None = None
 
     def summary(self) -> str:
         return (
@@ -137,11 +162,22 @@ def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> RunRecord:
 # --- worker-process side ----------------------------------------------------------
 
 _WORKER_ARTIFACTS: WorkloadArtifacts | None = None
+_WORKER_PROGRAM = None  # DemandProgram | None
 
 
-def _init_worker(artifacts: WorkloadArtifacts | None) -> None:
-    global _WORKER_ARTIFACTS
+def _init_worker(artifacts: WorkloadArtifacts | None, demand_trace=None) -> None:
+    """Install the per-process replay state: artifacts and, when the
+    demand pass is on, the trace preprocessed once into a
+    :class:`~repro.demand.replayer.DemandProgram` shared by every cell
+    this worker runs."""
+    global _WORKER_ARTIFACTS, _WORKER_PROGRAM
     _WORKER_ARTIFACTS = artifacts
+    if demand_trace is None:
+        _WORKER_PROGRAM = None
+    else:
+        from repro.demand import DemandProgram
+
+        _WORKER_PROGRAM = DemandProgram(demand_trace)
 
 
 def _run_in_worker(
@@ -150,15 +186,38 @@ def _run_in_worker(
     """Execute one cell; the result crosses the process boundary as the
     schema-versioned :class:`RunRecord` JSON row, not a pickled object.
 
-    The fourth element is the worker's telemetry for this cell — its pid
-    plus wall and CPU seconds spent — measured here so the numbers cover
-    exactly the replay, not pool scheduling or IPC.
+    The fourth element is the worker's telemetry for this cell — its pid,
+    wall and CPU seconds spent, and which evaluation pass produced the
+    record — measured here so the numbers cover exactly the replay, not
+    pool scheduling or IPC.  A demand cell that raises
+    :class:`~repro.demand.replayer.DemandFallback` re-runs as a full
+    replay in place, tagged with the fallback reason; the wall clock then
+    covers both attempts, which is the honest cost of that cell.
     """
     index, spec = item
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    mode = "full"
+    fallback_reason = None
     try:
-        record = execute_spec(_WORKER_ARTIFACTS, spec)
+        if _WORKER_PROGRAM is not None:
+            from repro.demand import DemandFallback, demand_replay_run
+
+            try:
+                record = demand_replay_run(
+                    _WORKER_ARTIFACTS,
+                    _WORKER_PROGRAM,
+                    spec.config,
+                    rep=spec.rep,
+                    master_seed=spec.master_seed,
+                    **spec.tunables_dict(),
+                )
+                mode = "demand"
+            except DemandFallback as fallback:
+                fallback_reason = fallback.reason
+                record = execute_spec(_WORKER_ARTIFACTS, spec)
+        else:
+            record = execute_spec(_WORKER_ARTIFACTS, spec)
         row, failure = record.to_json_dict(), None
     except Exception as exc:  # shipped home; the pool must not die
         row = None
@@ -172,7 +231,10 @@ def _run_in_worker(
         "pid": os.getpid(),
         "wall_s": time.perf_counter() - wall_start,
         "cpu_s": time.process_time() - cpu_start,
+        "mode": mode,
     }
+    if fallback_reason is not None:
+        telemetry["fallback_reason"] = fallback_reason
     return index, row, failure, telemetry
 
 
@@ -221,14 +283,28 @@ class FleetEngine:
         else:
             pending = list(enumerate(specs))
 
+        demand_trace = self._demand_trace(artifacts, stats) if pending else None
+
         failures: list[WorkerFailure] = []
-        for index, row, failure, telemetry in self._execute(artifacts, pending):
+        for index, row, failure, telemetry in self._execute(
+            artifacts, pending, demand_trace
+        ):
             spec = specs[index]
             stats.run_telemetry.append(telemetry)
             if failure is not None:
                 failures.append(failure)
                 stats.failures += 1
                 continue
+            if telemetry.get("mode") == "demand":
+                stats.demand_cells += 1
+            else:
+                stats.full_cells += 1
+            reason = telemetry.get("fallback_reason")
+            if reason is not None:
+                stats.fallback_cells += 1
+                stats.fallback_reasons[reason] = (
+                    stats.fallback_reasons.get(reason, 0) + 1
+                )
             record = RunRecord.from_json_dict(row)
             results[index] = record
             stats.executed += 1
@@ -255,10 +331,43 @@ class FleetEngine:
             self._fingerprinted = (artifacts, workload_fingerprint(artifacts))
         return self._fingerprinted[1]
 
+    def _demand_trace(self, artifacts: WorkloadArtifacts, stats: FleetStats):
+        """Resolve the workload's demand trace: cached, captured, or None.
+
+        None (full replays throughout) when ``REPRO_DEMAND=0`` or when the
+        one-time capture itself fails — a capture failure is recorded in
+        the stats and degrades the run, never aborts it.
+        """
+        from repro.demand import (
+            DemandTraceStore,
+            capture_demand,
+            demand_enabled,
+        )
+
+        if not demand_enabled():
+            return None
+        store = DemandTraceStore.for_cache(self.cache)
+        trace = store.load(artifacts) if store is not None else None
+        if trace is not None:
+            stats.demand_trace_source = "cache"
+            return trace
+        capture_start = time.perf_counter()
+        try:
+            trace = capture_demand(artifacts)
+        except ReproError as exc:
+            stats.demand_capture_error = f"{type(exc).__name__}: {exc}"
+            return None
+        stats.demand_capture_s = time.perf_counter() - capture_start
+        stats.demand_trace_source = "captured"
+        if store is not None:
+            store.store(artifacts, trace)
+        return trace
+
     def _execute(
         self,
         artifacts: WorkloadArtifacts,
         pending: list[tuple[int, RunSpec]],
+        demand_trace=None,
     ) -> Iterable[tuple[int, dict | None, WorkerFailure | None, dict]]:
         if not pending:
             return
@@ -266,7 +375,7 @@ class FleetEngine:
         if jobs == 1:
             # Inline path: identical semantics, no pool overhead.  This is
             # also the reference the parallel path must be bit-identical to.
-            _init_worker(artifacts)
+            _init_worker(artifacts, demand_trace)
             try:
                 for item in pending:
                     yield _run_in_worker(item)
@@ -277,7 +386,9 @@ class FleetEngine:
             return
         chunksize = max(1, len(pending) // (jobs * 4))
         with multiprocessing.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(artifacts,)
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(artifacts, demand_trace),
         ) as pool:
             yield from pool.imap_unordered(
                 _run_in_worker, pending, chunksize=chunksize

@@ -17,7 +17,9 @@ second file: one ``grid_bound`` event when the spec list is learned, a
 ``run_completed`` event per observation (with the worker's pid, wall and
 CPU seconds when the run executed), rate-limited ``heartbeat`` events
 with per-worker aggregates, and one final ``fleet_summary`` with cache
-hit/miss counts and straggler statistics.  Events carry a monotonically
+hit/miss counts, straggler statistics, and the demand-pass accounting
+(kernel-only vs full-replay cell counts, fallback reasons, and where the
+demand trace came from).  Events carry a monotonically
 increasing ``seq`` so a consumer can detect truncation; everything is
 plain JSON, one object per line, append-only.
 
@@ -162,6 +164,10 @@ class ProgressReporter:
             event["worker_pid"] = telemetry["pid"]
             event["wall_s"] = telemetry["wall_s"]
             event["cpu_s"] = telemetry["cpu_s"]
+            if "mode" in telemetry:
+                event["mode"] = telemetry["mode"]
+            if "fallback_reason" in telemetry:
+                event["fallback_reason"] = telemetry["fallback_reason"]
         self._emit_jsonl(event)
         self._maybe_heartbeat()
 
@@ -186,6 +192,15 @@ class ProgressReporter:
                 for pid, data in sorted(self._workers.items())
             ],
             "stragglers": stats.straggler_summary(),
+            "demand": {
+                "demand_cells": getattr(stats, "demand_cells", 0),
+                "full_cells": getattr(stats, "full_cells", 0),
+                "fallback_cells": getattr(stats, "fallback_cells", 0),
+                "fallback_reasons": getattr(stats, "fallback_reasons", {}),
+                "trace_source": getattr(stats, "demand_trace_source", None),
+                "capture_s": getattr(stats, "demand_capture_s", None),
+                "capture_error": getattr(stats, "demand_capture_error", None),
+            },
         }
         if self._started_at is not None:
             event["elapsed_s"] = self._clock() - self._started_at

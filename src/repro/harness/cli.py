@@ -18,6 +18,7 @@ Examples::
     repro-qoe perf --suite all --profile perf.prof
     repro-qoe perf --suite study --scenario persona=creator,seed=2,duration=2m
     repro-qoe trace persona=gamer,seed=7,duration=45s -o trace.json
+    repro-qoe demand persona=creator,seed=2,duration=2m -o demand.json
     repro-qoe attribute persona=gamer,seed=7,duration=45s -o annotated.json
     repro-qoe trace-diff baseline.json candidate.json
     repro-qoe sweep --dataset 02 --jobs 4 --progress-jsonl progress.jsonl
@@ -601,6 +602,56 @@ def cmd_attribute(args) -> int:
     return 0
 
 
+def cmd_demand(args) -> int:
+    """Inspect a workload's demand trace: stats, schema validation, export.
+
+    Captures the trace fresh (or loads ``--input``, e.g. a fleet-cached
+    ``demand/<key>.json``), prints its summary counters and content hash
+    as deterministic JSON on stdout, and validates the schema contract —
+    exit 1 on any violation.  ``-o`` exports the full trace JSON (the CI
+    demand-smoke job uploads it as an artifact).
+    """
+    import json as json_module
+
+    from repro.demand import DemandTrace, DemandTraceError, capture_demand
+    from repro.scenarios.config import canonical_scenario
+
+    seed = _master_seed(args)
+    name = (
+        canonical_scenario(args.workload)
+        if "=" in args.workload
+        else args.workload
+    )
+    if args.input:
+        trace = DemandTrace.loads(
+            Path(args.input).read_text(encoding="utf-8")
+        )
+        print(f"# demand trace <- {args.input}", file=sys.stderr)
+    else:
+        artifacts = record_workload(dataset(name), master_seed=seed)
+        capture_start = time.perf_counter()
+        trace = capture_demand(artifacts)
+        print(
+            f"# captured in {time.perf_counter() - capture_start:.2f}s "
+            f"at {trace.capture_config}",
+            file=sys.stderr,
+        )
+    report = dict(trace.stats())
+    report["content_hash"] = trace.content_hash()
+    report["schema_version"] = trace.schema_version
+    print(json_module.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        Path(args.output).write_text(trace.dumps(), encoding="utf-8")
+        print(f"# demand trace -> {args.output}", file=sys.stderr)
+    try:
+        trace.validate()
+    except DemandTraceError as exc:
+        print(f"repro-qoe: demand trace invalid: {exc}", file=sys.stderr)
+        return 1
+    print("# schema contract: OK", file=sys.stderr)
+    return 0
+
+
 def cmd_trace_diff(args) -> int:
     """Align two exported traces; report span deltas and first divergence."""
     from repro.obs.attribution import diff_trace_files, render_diff
@@ -828,6 +879,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed_flag(p_attr)
     p_attr.set_defaults(func=cmd_attribute)
+
+    p_demand = sub.add_parser(
+        "demand",
+        help=(
+            "capture a workload's demand trace; print stats and validate "
+            "the schema contract (exit 1 on violations)"
+        ),
+    )
+    p_demand.add_argument(
+        "workload", metavar="WORKLOAD",
+        help=(
+            "dataset name ('02') or scenario spec "
+            "('persona=gamer,seed=7,duration=45s')"
+        ),
+    )
+    p_demand.add_argument(
+        "-i", "--input", default=None, metavar="PATH",
+        help="validate an existing trace JSON instead of capturing",
+    )
+    p_demand.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="export the full trace JSON (for CI artifacts)",
+    )
+    _add_seed_flag(p_demand)
+    p_demand.set_defaults(func=cmd_demand)
 
     p_diff = sub.add_parser(
         "trace-diff",

@@ -1,4 +1,4 @@
-"""Chunked background work.
+"""Chunked and periodic background work.
 
 Real background services interleave CPU bursts with IO (reading mail,
 flash writes, socket waits), so the load a governor samples from them sits
@@ -6,9 +6,20 @@ well below 100%.  ``submit_chunked`` models this: a total cycle demand is
 split into fixed-size chunks separated by IO gaps.  Foreground interaction
 work stays unchunked — user-triggered bursts are what race governors to
 high frequencies.
+
+:class:`PeriodicWorkChain` is the second background shape: a gated timer
+loop submitting one fixed work unit per period (music decode, widget
+refresh).  Apps used to hand-roll this with ``schedule_after`` +
+``post_work``; the shared class keeps the exact same event order and adds
+the seam the demand recorder needs — a chain is *one* node in a demand
+trace instead of an unbounded unrolling of timer firings, so the kernel
+evaluation pass can re-run the loop live instead of replaying a recording
+of it.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.core.engine import Engine
 from repro.core.errors import SimulationError
@@ -58,3 +69,102 @@ def submit_chunked(
 
     run(0)
     return chunk_count
+
+
+# The demand recorder (repro.demand.capture) installs itself here for the
+# duration of one instrumented replay; ``None`` costs one global read per
+# chain transition, nothing on any per-event path.
+_chain_observer = None
+
+
+def set_chain_observer(observer):
+    """Install (or clear, with ``None``) the chain observer; returns the
+    previous one so callers can restore it."""
+    global _chain_observer
+    previous = _chain_observer
+    _chain_observer = observer
+    return previous
+
+
+class PeriodicWorkChain:
+    """A gated timer loop: one work unit per period while active.
+
+    Semantics are an exact transliteration of the self-rescheduling
+    pattern the apps used to hand-roll:
+
+    * :meth:`start` arms a fresh timer one period out *unconditionally* —
+      re-starting while an earlier firing is still pending historically
+      doubled the loop (pause/play faster than the period), and replays
+      must keep doing so bit-identically;
+    * each firing checks the gate at expiry time, submits the work unit,
+      then re-arms (submit before re-arm: engine sequence numbers are
+      part of deterministic tie-breaking);
+    * :meth:`stop` only drops the gate — pending firings die quietly at
+      expiry without re-arming.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        name: str,
+        period_us: int,
+        cycles: float,
+        priority: int = PRIORITY_BACKGROUND,
+        on_fire: Callable[[], None] | None = None,
+    ) -> None:
+        if period_us <= 0:
+            raise SimulationError(f"chain {name!r} needs a positive period")
+        if cycles <= 0:
+            raise SimulationError(f"chain {name!r} needs positive cycles")
+        self._engine = engine
+        self._scheduler = scheduler
+        self.name = name
+        self.period_us = period_us
+        self.cycles = float(cycles)
+        self.priority = priority
+        self._on_fire = on_fire
+        self.active = False
+        self.fires = 0
+
+    def start(self) -> None:
+        self.active = True
+        observer = _chain_observer
+        if observer is not None:
+            observer.chain_started(self)
+            with observer.chain_firing(self):
+                self._arm()
+        else:
+            self._arm()
+
+    def stop(self) -> None:
+        self.active = False
+        observer = _chain_observer
+        if observer is not None:
+            observer.chain_stopped(self)
+
+    def _arm(self) -> None:
+        self._engine.schedule_after(self.period_us, self._fire)
+
+    def _fire(self) -> None:
+        if not self.active:
+            return
+        observer = _chain_observer
+        if observer is not None:
+            with observer.chain_firing(self):
+                self._run_once()
+        else:
+            self._run_once()
+
+    def _run_once(self) -> None:
+        on_fire = self._on_fire
+        self._scheduler.submit(
+            Task(
+                self.name,
+                self.cycles,
+                priority=self.priority,
+                on_complete=(lambda _t: on_fire()) if on_fire else None,
+            )
+        )
+        self.fires += 1
+        self._arm()

@@ -26,12 +26,14 @@ MICRO_BENCHES = (
 MACRO_BENCHES = (
     "macro_study",
     "macro_daylong",
+    "demand_trace",
 )
 
 SUITES: dict[str, tuple[str, ...]] = {
     "micro": MICRO_BENCHES,
     "macro": MACRO_BENCHES,
     "study": ("macro_study",),
+    "demand": ("demand_trace",),
     "all": MICRO_BENCHES + MACRO_BENCHES,
 }
 
@@ -155,6 +157,53 @@ def _replay_cells(name: str, dataset_name: str, configs) -> BenchResult:
     )
 
 
+def _run_demand_trace(name: str, dataset_name: str, configs) -> BenchResult:
+    """The trace-once/replay-many sweep: capture cost, warm and cold rates.
+
+    Times one demand capture, then the full config grid through the
+    kernel-only pass (warm: the trace and its preprocessed program are in
+    hand, as on every fleet run after the first) and through full replays
+    (the ``REPRO_DEMAND=0`` reference).  ``wall_s`` is the warm demand
+    sweep; the cold rate amortises the capture over this one grid, which
+    is the worst case — the fleet store reuses the trace across reruns.
+    """
+    from repro.demand import DemandProgram, capture_demand, demand_replay_run
+    from repro.harness.experiment import record_workload, replay_run
+    from repro.workloads.datasets import dataset
+
+    artifacts = record_workload(dataset(dataset_name))
+    start = time.perf_counter()
+    program = DemandProgram(capture_demand(artifacts))
+    capture_s = time.perf_counter() - start
+    sim_us = 0
+    start = time.perf_counter()
+    for config in configs:
+        sim_us += demand_replay_run(artifacts, program, config).duration_us
+    warm_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for config in configs:
+        replay_run(artifacts, config)
+    full_s = time.perf_counter() - start
+    count = len(configs)
+    return BenchResult(
+        name=name,
+        wall_s=warm_s,
+        sim_us=sim_us,
+        events=count,
+        metrics={
+            "configs": float(count),
+            "capture_s": capture_s,
+            "warm_wall_s": warm_s,
+            "full_wall_s": full_s,
+            "warm_configs_per_s": count / warm_s,
+            "cold_configs_per_s": count / (capture_s + warm_s),
+            "full_configs_per_s": count / full_s,
+            "speedup_warm": full_s / warm_s,
+            "speedup_cold": full_s / (capture_s + warm_s),
+        },
+    )
+
+
 def _runner_for(name: str, scenario: str | None = None):
     if name == "engine_events":
         return lambda: _run_engine_bench(name, workloads.run_engine_events)
@@ -179,6 +228,14 @@ def _runner_for(name: str, scenario: str | None = None):
             name,
             workloads.MACRO_DAYLONG_DATASET,
             workloads.MACRO_DAYLONG_CONFIGS,
+        )
+    if name == "demand_trace":
+        from repro.harness.sweep import sweep_configs
+
+        return lambda: _run_demand_trace(
+            name,
+            scenario or workloads.MACRO_STUDY_DATASET,
+            tuple(sweep_configs()),
         )
     raise ReproError(f"unknown benchmark {name!r}")
 
@@ -234,7 +291,10 @@ def render_results(results: list[BenchResult]) -> str:
             f"{result.events_per_s:>12.0f} "
             f"{sim_rate:>13.1f}"
         )
-        if result.name.startswith("macro"):
+        if result.name == "demand_trace":
+            for key in sorted(result.metrics):
+                lines.append(f"  {key:<20} {result.metrics[key]:>10.2f}")
+        elif result.name.startswith("macro"):
             for key in sorted(result.metrics):
                 value = result.metrics[key]
                 if key.startswith("mem_peak_kb"):

@@ -70,7 +70,8 @@ def test_run_suite_rejects_unknown_suite():
 def test_suite_names_cover_micro_and_macro():
     names = suite_names()
     assert "micro" in names and "macro" in names and "all" in names
-    assert set(MACRO_BENCHES) == {"macro_study", "macro_daylong"}
+    assert set(MACRO_BENCHES) == {"macro_study", "macro_daylong",
+                                  "demand_trace"}
 
 
 def test_render_results_is_tabular():
