@@ -112,6 +112,7 @@ class ExploreEvaluator:
         power_model: PowerModel | None = None,
         hci_model: HciModel | None = None,
         progress: ProgressHook | None = None,
+        backend=None,
     ) -> None:
         from repro.scenarios.profiles import frequency_table_for, power_model_for
 
@@ -125,7 +126,9 @@ class ExploreEvaluator:
             else master_seed
         )
         self.oracle_reps = oracle_reps
-        self._engine = FleetEngine(jobs=jobs, cache=cache, progress=progress)
+        self._engine = FleetEngine(
+            jobs=jobs, cache=cache, progress=progress, backend=backend
+        )
         self._scores: dict[tuple[str, int], CandidateScore] = {}
         self._oracle: OracleResult | None = None
         self.replays_executed = 0

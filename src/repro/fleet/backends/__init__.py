@@ -1,0 +1,36 @@
+"""Pluggable fleet execution backends.
+
+* :mod:`repro.fleet.backends.registry` — the name → backend registry and
+  the ``NAME[:key=value,...]`` spec grammar behind ``--backend``,
+* :mod:`repro.fleet.backends.local` — inline / ``multiprocessing.Pool``
+  execution on this machine (the default, and the bit-identical
+  reference path),
+* :mod:`repro.fleet.backends.distributed` — work-pulling workers over a
+  shared sqlite work queue with lease/ack semantics, publishing
+  ``RunRecord`` rows to a shared content-addressed store; crash-safe
+  and resumable.
+
+Importing this package registers the built-ins (the governor-registry
+idiom); :func:`create_backend` does so on demand.
+"""
+
+from repro.fleet.backends.distributed import DistributedBackend, SqliteWorkQueue
+from repro.fleet.backends.local import LocalBackend
+from repro.fleet.backends.registry import (
+    FleetBackend,
+    backend_names,
+    create_backend,
+    parse_backend_spec,
+    register_backend,
+)
+
+__all__ = [
+    "DistributedBackend",
+    "FleetBackend",
+    "LocalBackend",
+    "SqliteWorkQueue",
+    "backend_names",
+    "create_backend",
+    "parse_backend_spec",
+    "register_backend",
+]

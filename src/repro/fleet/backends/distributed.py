@@ -1,0 +1,543 @@
+"""The distributed backend: a shared work queue + shared record store.
+
+Workers *pull* :class:`~repro.fleet.spec.RunSpec` batches from a shared
+sqlite work queue and *publish* schema-versioned
+:class:`~repro.results.RunRecord` rows to the shared content-addressed
+record store (the same :class:`~repro.fleet.cache.ResultCache` format,
+on a filesystem every worker can reach) — the work-pulling worker
+topology, sized for sweeps that outgrow one machine's pool.
+
+Lease/ack semantics make the queue crash-safe:
+
+* leasing a cell marks it ``leased`` with an expiry ``lease`` seconds
+  out and bumps its attempt counter; acking marks it ``done`` and
+  attaches the result row (or the captured failure) plus telemetry,
+* a worker that dies mid-batch never acks — its cells' leases expire
+  and any live worker re-leases them (straggler re-dispatch).  A *slow*
+  worker that outlives its lease causes at worst a duplicate execution,
+  never a wrong result: replays are deterministic, acks idempotent, and
+  the coordinator consumes each cell exactly once,
+* if the whole worker fleet dies, the coordinator releases every lease
+  and drains the remaining cells inline, so a run always terminates.
+
+Durable truth lives in the record store, not the queue: rows are
+published (content-addressed, atomically) *before* the ack.  A sweep
+killed at any point — coordinator included — is therefore resumable:
+the restarted engine's cache scan finds every published row and
+re-dispatches only the unfinished cells, executing **zero** duplicate
+replays.  The queue itself is coordination-only state, scoped per
+``run_id``; stale rows from a killed run are ignored and swept on the
+next enqueue.
+
+The ``chaos_exit_after=N`` option is a test/CI knob: the first worker
+hard-exits (``os._exit``) after acking N cells, simulating a mid-batch
+worker death so lease expiry and re-dispatch stay continuously proven.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sqlite3
+import time
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.errors import ReproError
+from repro.fleet.backends.registry import (
+    CellResult,
+    FleetBackend,
+    opt_float,
+    opt_int,
+    register_backend,
+    reject_unknown_opts,
+)
+from repro.fleet.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.experiment import WorkloadArtifacts
+
+#: Seconds between coordinator polls of the queue.
+POLL_S = 0.02
+#: Seconds a worker naps when every remaining cell is leased elsewhere.
+WORKER_IDLE_S = 0.05
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    run_id        TEXT NOT NULL,
+    idx           INTEGER NOT NULL,
+    spec          TEXT NOT NULL,
+    key           TEXT NOT NULL,
+    state         TEXT NOT NULL DEFAULT 'pending',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    lease_expires REAL,
+    worker        TEXT,
+    row           TEXT,
+    failure       TEXT,
+    telemetry     TEXT,
+    PRIMARY KEY (run_id, idx)
+);
+CREATE INDEX IF NOT EXISTS cells_state ON cells (run_id, state);
+"""
+
+
+class SqliteWorkQueue:
+    """Leased work-cell queue shared by coordinator and workers.
+
+    Every mutation is one short ``BEGIN IMMEDIATE`` transaction, so any
+    number of processes can lease and ack concurrently; sqlite's file
+    lock is the arbiter.  ``clock`` is injectable so lease expiry is
+    testable without sleeping.
+    """
+
+    def __init__(self, path: str | Path, clock=time.time) -> None:
+        self.path = Path(path)
+        self._clock = clock
+
+    def _connect(self) -> sqlite3.Connection:
+        # Autocommit connections: transactions are explicit BEGIN
+        # IMMEDIATE blocks so every mutation holds the write lock for
+        # exactly one short critical section.
+        conn = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    def _mutate(self, operate) -> object:
+        """Run ``operate(conn)`` inside one immediate transaction."""
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                result = operate(conn)
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            return result
+        finally:
+            conn.close()
+
+    def _read(self, operate) -> object:
+        conn = self._connect()
+        try:
+            return operate(conn)
+        finally:
+            conn.close()
+
+    def ensure(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._read(lambda conn: conn.executescript(_SCHEMA))
+
+    def enqueue(
+        self, run_id: str, cells: list[tuple[int, dict, str]]
+    ) -> None:
+        """Add ``(index, spec wire dict, store key)`` cells for ``run_id``.
+
+        Rows from other (dead) runs are swept first: the queue carries no
+        durable state — completed work lives in the record store.
+        """
+
+        def operate(conn):
+            conn.execute("DELETE FROM cells WHERE run_id != ?", (run_id,))
+            conn.executemany(
+                "INSERT OR REPLACE INTO cells (run_id, idx, spec, key) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (run_id, index, json.dumps(wire, sort_keys=True), key)
+                    for index, wire, key in cells
+                ],
+            )
+
+        self._mutate(operate)
+
+    def lease(
+        self, run_id: str, worker: str, batch: int, lease_s: float
+    ) -> list[tuple[int, dict, str]]:
+        """Claim up to ``batch`` runnable cells: pending, or expired leases.
+
+        Re-leasing an expired cell is the straggler re-dispatch path; the
+        attempt counter records every dispatch so ``redispatched()`` can
+        report how many cells needed more than one.
+        """
+        now = self._clock()
+
+        def operate(conn):
+            rows = conn.execute(
+                "SELECT idx, spec, key FROM cells "
+                "WHERE run_id = ? AND state != 'done' "
+                "AND (state = 'pending' OR lease_expires < ?) "
+                "ORDER BY idx LIMIT ?",
+                (run_id, now, batch),
+            ).fetchall()
+            if rows:
+                conn.executemany(
+                    "UPDATE cells SET state = 'leased', "
+                    "attempts = attempts + 1, lease_expires = ?, worker = ? "
+                    "WHERE run_id = ? AND idx = ?",
+                    [
+                        (now + lease_s, worker, run_id, idx)
+                        for idx, _, _ in rows
+                    ],
+                )
+            return rows
+
+        rows = self._mutate(operate)
+        return [(idx, json.loads(spec), key) for idx, spec, key in rows]
+
+    def ack(
+        self,
+        run_id: str,
+        index: int,
+        row: dict | None,
+        failure: dict | None,
+        telemetry: dict,
+    ) -> None:
+        """Mark one cell done with its result (idempotent: last ack wins)."""
+        self._mutate(
+            lambda conn: conn.execute(
+                "UPDATE cells SET state = 'done', lease_expires = NULL, "
+                "row = ?, failure = ?, telemetry = ? "
+                "WHERE run_id = ? AND idx = ?",
+                (
+                    None if row is None else json.dumps(row, sort_keys=True),
+                    None
+                    if failure is None
+                    else json.dumps(failure, sort_keys=True),
+                    json.dumps(telemetry, sort_keys=True),
+                    run_id,
+                    index,
+                ),
+            )
+        )
+
+    def done_cells(
+        self, run_id: str, skip: set[int]
+    ) -> list[tuple[int, dict | None, dict | None, dict]]:
+        """Completed cells not yet consumed, in index order."""
+        rows = self._read(
+            lambda conn: conn.execute(
+                "SELECT idx, row, failure, telemetry FROM cells "
+                "WHERE run_id = ? AND state = 'done' ORDER BY idx",
+                (run_id,),
+            ).fetchall()
+        )
+        return [
+            (
+                idx,
+                None if row is None else json.loads(row),
+                None if failure is None else json.loads(failure),
+                json.loads(telemetry) if telemetry else {},
+            )
+            for idx, row, failure, telemetry in rows
+            if idx not in skip
+        ]
+
+    def counts(self, run_id: str) -> dict[str, int]:
+        return dict(
+            self._read(
+                lambda conn: conn.execute(
+                    "SELECT state, COUNT(*) FROM cells WHERE run_id = ? "
+                    "GROUP BY state",
+                    (run_id,),
+                ).fetchall()
+            )
+        )
+
+    def release_leases(self, run_id: str) -> int:
+        """Return every leased cell to pending (the fleet-died path)."""
+        return self._mutate(
+            lambda conn: conn.execute(
+                "UPDATE cells SET state = 'pending', lease_expires = NULL "
+                "WHERE run_id = ? AND state = 'leased'",
+                (run_id,),
+            ).rowcount
+        )
+
+    def redispatched(self, run_id: str) -> int:
+        """Cells that needed more than one dispatch (expired leases)."""
+        return self._read(
+            lambda conn: conn.execute(
+                "SELECT COUNT(*) FROM cells WHERE run_id = ? "
+                "AND attempts > 1",
+                (run_id,),
+            ).fetchone()[0]
+        )
+
+
+def _failure_to_wire(failure) -> dict:
+    return {
+        "spec": failure.spec.to_wire(),
+        "exc_type": failure.exc_type,
+        "message": failure.message,
+        "traceback_text": failure.traceback_text,
+    }
+
+
+def _failure_from_wire(wire: dict):
+    from repro.fleet.engine import WorkerFailure
+
+    return WorkerFailure(
+        spec=RunSpec.from_wire(wire["spec"]),
+        exc_type=wire["exc_type"],
+        message=wire["message"],
+        traceback_text=wire["traceback_text"],
+    )
+
+
+def _work_cells(
+    queue: SqliteWorkQueue,
+    run_id: str,
+    store,
+    worker: str,
+    lease_s: float,
+    batch: int,
+    wait_for_stragglers: bool,
+    chaos_exit_after: int | None = None,
+) -> None:
+    """The pull loop: lease, execute, publish, ack — until the queue drains.
+
+    Assumes :func:`~repro.fleet.backends.local.init_worker` already
+    installed this process's artifacts (and demand program).  The row is
+    published to the shared store *before* the ack, so a cell the queue
+    says is done is always resumable from the store.
+    """
+    from repro.fleet.backends.local import run_spec_cell
+    from repro.results import RunRecord
+
+    acked = 0
+    while True:
+        cells = queue.lease(run_id, worker, batch, lease_s)
+        if not cells:
+            counts = queue.counts(run_id)
+            if counts.get("pending", 0) == 0 and (
+                not wait_for_stragglers or counts.get("leased", 0) == 0
+            ):
+                return
+            time.sleep(WORKER_IDLE_S)
+            continue
+        for index, wire, key in cells:
+            spec = RunSpec.from_wire(wire)
+            _, row, failure, telemetry = run_spec_cell((index, spec))
+            if row is not None and store is not None:
+                store.store(key, RunRecord.from_json_dict(row))
+            queue.ack(
+                run_id,
+                index,
+                row=row,
+                failure=None if failure is None else _failure_to_wire(failure),
+                telemetry=telemetry,
+            )
+            acked += 1
+            if chaos_exit_after is not None and acked >= chaos_exit_after:
+                # Test/CI knob: die mid-batch without cleanup.  Leased,
+                # un-acked cells expire and re-dispatch to live workers.
+                os._exit(17)
+
+
+def _distributed_worker(
+    queue_path: str,
+    run_id: str,
+    store,
+    artifacts,
+    demand_trace,
+    worker: str,
+    lease_s: float,
+    batch: int,
+    chaos_exit_after: int | None,
+) -> None:
+    """Entry point of one spawned worker process."""
+    from repro.fleet.backends.local import init_worker
+
+    init_worker(artifacts, demand_trace)
+    _work_cells(
+        queue=SqliteWorkQueue(queue_path),
+        run_id=run_id,
+        store=store,
+        worker=worker,
+        lease_s=lease_s,
+        batch=batch,
+        wait_for_stragglers=True,
+        chaos_exit_after=chaos_exit_after,
+    )
+
+
+class DistributedBackend(FleetBackend):
+    """Work-pulling workers over a shared sqlite queue + record store."""
+
+    name = "distributed"
+    stores_results = True
+    requires_store = True
+
+    #: Subdirectory names under the shared directory.
+    QUEUE_FILENAME = "queue.sqlite3"
+    STORE_SUBDIR = "store"
+
+    def __init__(
+        self,
+        root: str | Path,
+        workers: int = 2,
+        lease_s: float = 30.0,
+        batch: int = 1,
+        chaos_exit_after: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(
+                f"distributed backend needs at least one worker, got {workers}"
+            )
+        self.root = Path(root).expanduser()
+        self.queue_path = self.root / self.QUEUE_FILENAME
+        self.workers = workers
+        self.lease_s = lease_s
+        self.batch = batch
+        self.chaos_exit_after = chaos_exit_after
+        #: Cells that needed more than one dispatch in the last execute().
+        self.last_redispatched = 0
+        #: Worker processes that died (without a clean exit) last execute().
+        self.last_workers_lost = 0
+
+    @classmethod
+    def from_opts(cls, opts: dict[str, str], jobs: int = 1) -> "DistributedBackend":
+        reject_unknown_opts(
+            cls.name,
+            opts,
+            ("dir", "workers", "lease", "batch", "chaos_exit_after"),
+        )
+        root = opts.get("dir")
+        if not root:
+            raise ReproError(
+                "distributed backend needs a shared directory: "
+                "--backend distributed:dir=PATH[,workers=N,lease=S,batch=B]"
+            )
+        chaos = opts.get("chaos_exit_after")
+        return cls(
+            root=root,
+            workers=opt_int(opts, "workers", jobs),
+            lease_s=opt_float(opts, "lease", 30.0),
+            batch=opt_int(opts, "batch", 1),
+            chaos_exit_after=None if chaos is None else opt_int(
+                opts, "chaos_exit_after", 1
+            ),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}:dir={self.root},workers={self.workers},"
+            f"lease={self.lease_s:g},batch={self.batch}"
+        )
+
+    def result_store(self):
+        """The shared record store under this backend's directory.
+
+        The CLI uses it as the engine's result cache, so the cache scan,
+        the workers' publishes and the demand-trace store all share one
+        content-addressed root — which is what makes a killed sweep
+        resumable with zero duplicate replays.
+        """
+        from repro.fleet.cache import ResultCache
+
+        return ResultCache(self.root / self.STORE_SUBDIR)
+
+    def execute(
+        self,
+        artifacts: "WorkloadArtifacts",
+        pending: list[tuple[int, RunSpec]],
+        demand_trace=None,
+        keys: dict[int, str] | None = None,
+        store=None,
+    ) -> Iterable[CellResult]:
+        if not pending:
+            return
+        if keys is None or store is None:
+            raise ReproError(
+                "distributed backend needs the content-addressed store "
+                "and per-cell keys; run with a result cache"
+            )
+        run_id = uuid.uuid4().hex
+        self.last_redispatched = 0
+        self.last_workers_lost = 0
+        queue = SqliteWorkQueue(self.queue_path)
+        queue.ensure()
+        queue.enqueue(
+            run_id,
+            [(index, spec.to_wire(), keys[index]) for index, spec in pending],
+        )
+        workers = [
+            multiprocessing.Process(
+                target=_distributed_worker,
+                args=(
+                    str(self.queue_path),
+                    run_id,
+                    store,
+                    artifacts,
+                    demand_trace,
+                    f"worker-{seq}",
+                    self.lease_s,
+                    self.batch,
+                    self.chaos_exit_after if seq == 0 else None,
+                ),
+                daemon=True,
+            )
+            for seq in range(min(self.workers, len(pending)))
+        ]
+        for process in workers:
+            process.start()
+        consumed: set[int] = set()
+        try:
+            while len(consumed) < len(pending):
+                for index, row, failure_wire, telemetry in queue.done_cells(
+                    run_id, consumed
+                ):
+                    consumed.add(index)
+                    failure = (
+                        None
+                        if failure_wire is None
+                        else _failure_from_wire(failure_wire)
+                    )
+                    yield index, row, failure, telemetry
+                if len(consumed) >= len(pending):
+                    break
+                if not any(process.is_alive() for process in workers):
+                    # The whole fleet died (or drained and exited) with
+                    # cells outstanding: reclaim their leases and drain
+                    # inline so the run always terminates.
+                    queue.release_leases(run_id)
+                    self._drain_inline(queue, run_id, store, artifacts,
+                                       demand_trace)
+                    continue
+                time.sleep(POLL_S)
+        finally:
+            for process in workers:
+                process.join(timeout=self.lease_s + 5.0)
+                if process.is_alive():  # pragma: no cover - wedged worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+            self.last_workers_lost = sum(
+                1 for process in workers if process.exitcode not in (0, None)
+            )
+            self.last_redispatched = queue.redispatched(run_id)
+
+    def _drain_inline(
+        self, queue: SqliteWorkQueue, run_id: str, store, artifacts,
+        demand_trace,
+    ) -> None:
+        """Run the remaining cells in the coordinator process."""
+        from repro.fleet.backends.local import init_worker
+
+        init_worker(artifacts, demand_trace)
+        try:
+            _work_cells(
+                queue=queue,
+                run_id=run_id,
+                store=store,
+                worker="coordinator",
+                lease_s=self.lease_s,
+                batch=max(1, self.batch),
+                wait_for_stragglers=False,
+            )
+        finally:
+            init_worker(None)
+
+
+register_backend(DistributedBackend.name, DistributedBackend.from_opts)

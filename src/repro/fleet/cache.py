@@ -80,13 +80,22 @@ def workload_fingerprint(artifacts: "WorkloadArtifacts") -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-class ResultCache:
-    """Content-addressed store of :class:`RunRecord` JSON rows."""
+class RecordStore:
+    """Contract of a content-addressed :class:`RunRecord` row store.
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
+    The key derivation (:meth:`key_for`) is storage-independent — it
+    folds the cache format, the record schema, the code and workload
+    fingerprints and the spec identity — so any store implementation
+    (filesystem, a future network store) addresses the identical cells.
+    Implementations supply :meth:`load` / :meth:`store` /
+    :meth:`contains`; both must tolerate concurrent writers racing the
+    same key (rows are immutable values: last write wins with identical
+    bytes) and treat truncated, corrupt or schema-stale rows as misses,
+    never as errors.
+    """
+
+    hits: int
+    misses: int
 
     def key_for(self, spec: RunSpec, fingerprint: str) -> str:
         payload = (
@@ -94,6 +103,24 @@ class ResultCache:
             f"{code_fingerprint()}|{fingerprint}|{spec.cache_token()}"
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def load(self, key: str) -> "RunRecord | None":
+        raise NotImplementedError
+
+    def store(self, key: str, record: "RunRecord") -> None:
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+
+class ResultCache(RecordStore):
+    """Filesystem implementation: rows under ``<root>/<aa>/<key>.json``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

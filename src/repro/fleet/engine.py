@@ -4,21 +4,31 @@ One :class:`FleetEngine` turns a list of :class:`RunSpec` into the same
 ordered list of :class:`~repro.results.RunRecord` the serial loop
 produced, but
 
-* **parallel** — specs are chunked across a :mod:`multiprocessing` pool of
-  simulated devices; each worker receives the recorded artifacts once (at
-  pool initialisation) rather than per task,
+* **backend-driven** — *what* to run (cache scan, demand-trace
+  resolution, accounting, ordered merge) is decided here; *where* and
+  *how* cells execute is a pluggable
+  :class:`~repro.fleet.backends.registry.FleetBackend`: the default
+  :class:`~repro.fleet.backends.local.LocalBackend` runs inline or on a
+  :mod:`multiprocessing` pool, the
+  :class:`~repro.fleet.backends.distributed.DistributedBackend` has
+  workers pull batches from a shared sqlite work queue with lease/ack
+  semantics and publish rows to a shared content-addressed store,
 * **deterministic** — every replay seeds its RNG streams from the spec
   alone, and results are merged back in spec order, so output is
-  bit-identical to the serial path regardless of worker count or
-  completion order,
+  bit-identical to the serial path regardless of backend, worker count
+  or completion order,
 * **typed IPC** — a worker ships its result home as the schema-versioned
   :class:`RunRecord` JSON row (the same wire format the cache stores),
-  never as a pickled object graph, so the inline path, the pool path and
-  the cache all carry the identical compact shape,
+  never as a pickled object graph, so the inline path, the pool path,
+  the shared work queue and the cache all carry the identical compact
+  shape,
 * **cache-aware** — with a :class:`~repro.fleet.cache.ResultCache`, cells
   whose content address (spec + workload fingerprint) is already stored
   are served without executing, and fresh results are stored on the way
-  out,
+  out.  A backend that publishes rows itself (the distributed workers
+  write to the shared store before acking) makes a killed run resumable:
+  the restarted engine's cache scan finds every published row and
+  re-executes nothing twice,
 * **failure-capturing** — an exception inside a worker is caught there
   and shipped back as a :class:`WorkerFailure` (with its traceback text);
   the remaining cells still run, then the engine raises a single
@@ -26,9 +36,9 @@ produced, but
 * **demand-accelerated** — unless ``REPRO_DEMAND=0``, the engine captures
   the workload's demand trace once (or loads it from the cache-adjacent
   :class:`~repro.demand.store.DemandTraceStore`), ships it to every
-  worker at pool initialisation, and evaluates each cell with the
-  kernel-only :func:`~repro.demand.replayer.demand_replay_run`.  A cell
-  whose replay diverges from the trace's contract raises
+  worker, and evaluates each cell with the kernel-only
+  :func:`~repro.demand.replayer.demand_replay_run`.  A cell whose replay
+  diverges from the trace's contract raises
   :class:`~repro.demand.replayer.DemandFallback` and is transparently
   re-run as a full replay; :class:`FleetStats` counts both populations
   and every fallback reason.
@@ -36,13 +46,10 @@ produced, but
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
-import traceback
 from dataclasses import dataclass, field
 from statistics import median
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import ReproError
 from repro.fleet.cache import ResultCache, workload_fingerprint
@@ -50,6 +57,7 @@ from repro.fleet.spec import RunSpec
 from repro.results import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - harness imports fleet; break the cycle
+    from repro.fleet.backends.registry import FleetBackend
     from repro.harness.experiment import WorkloadArtifacts
 
 ProgressHook = Callable[[RunSpec, bool], None]
@@ -84,10 +92,13 @@ class FleetError(ReproError):
 class FleetStats:
     """What one :meth:`FleetEngine.run` actually did.
 
-    ``run_telemetry`` holds one worker-side measurement per *executed*
-    cell — ``{"pid", "wall_s", "cpu_s", "mode"}`` plus a
+    ``run_telemetry`` holds one worker-side measurement per successfully
+    *executed* cell — ``{"pid", "wall_s", "cpu_s", "mode"}`` plus a
     ``fallback_reason`` tag when the demand pass bailed out — in
-    completion order (cached cells execute nothing and so have none).
+    completion order.  Cached cells execute nothing and failed cells are
+    kept apart in ``failure_telemetry``, so the worker and straggler
+    summaries always agree with ``executed``
+    (``straggler_summary()["runs"] == executed``).
 
     The demand fields describe the trace-once/replay-many split:
     ``demand_cells``/``full_cells`` partition the successfully executed
@@ -95,7 +106,13 @@ class FleetStats:
     that had to re-run as full replays (every one is also a
     ``full_cells`` member), and ``demand_trace_source`` records where
     the trace came from (``"cache"``, ``"captured"``, or None when the
-    run used full replays throughout).
+    run used full replays throughout).  ``fallback_reasons`` counts
+    every fallback — including a cell whose full-replay rerun then
+    failed — so reason totals may exceed ``fallback_cells``.
+
+    ``backend`` names the execution backend and ``redispatched`` counts
+    cells the distributed queue had to dispatch more than once (expired
+    leases: a worker died or straggled mid-batch).
     """
 
     total: int = 0
@@ -104,6 +121,7 @@ class FleetStats:
     stored: int = 0
     failures: int = 0
     run_telemetry: list[dict] = field(default_factory=list)
+    failure_telemetry: list[dict] = field(default_factory=list)
     demand_cells: int = 0
     full_cells: int = 0
     fallback_cells: int = 0
@@ -111,6 +129,8 @@ class FleetStats:
     demand_trace_source: str | None = None
     demand_capture_s: float | None = None
     demand_capture_error: str | None = None
+    backend: str = "local"
+    redispatched: int = 0
 
     def summary(self) -> str:
         return (
@@ -134,6 +154,7 @@ class FleetStats:
         """Spread of per-run wall times — the straggler signal.
 
         None when nothing executed (fully cached or empty grids).
+        Failed cells are excluded: ``runs`` always equals ``executed``.
         """
         walls = [entry["wall_s"] for entry in self.run_telemetry]
         if not walls:
@@ -159,102 +180,31 @@ def execute_spec(artifacts: "WorkloadArtifacts", spec: RunSpec) -> RunRecord:
     )
 
 
-# --- worker-process side ----------------------------------------------------------
-
-_WORKER_ARTIFACTS: WorkloadArtifacts | None = None
-_WORKER_PROGRAM = None  # DemandProgram | None
-
-
-def _init_worker(artifacts: WorkloadArtifacts | None, demand_trace=None) -> None:
-    """Install the per-process replay state: artifacts and, when the
-    demand pass is on, the trace preprocessed once into a
-    :class:`~repro.demand.replayer.DemandProgram` shared by every cell
-    this worker runs."""
-    global _WORKER_ARTIFACTS, _WORKER_PROGRAM
-    _WORKER_ARTIFACTS = artifacts
-    if demand_trace is None:
-        _WORKER_PROGRAM = None
-    else:
-        from repro.demand import DemandProgram
-
-        _WORKER_PROGRAM = DemandProgram(demand_trace)
-
-
-def _run_in_worker(
-    item: tuple[int, RunSpec],
-) -> tuple[int, dict | None, WorkerFailure | None, dict]:
-    """Execute one cell; the result crosses the process boundary as the
-    schema-versioned :class:`RunRecord` JSON row, not a pickled object.
-
-    The fourth element is the worker's telemetry for this cell — its pid,
-    wall and CPU seconds spent, and which evaluation pass produced the
-    record — measured here so the numbers cover exactly the replay, not
-    pool scheduling or IPC.  A demand cell that raises
-    :class:`~repro.demand.replayer.DemandFallback` re-runs as a full
-    replay in place, tagged with the fallback reason; the wall clock then
-    covers both attempts, which is the honest cost of that cell.
-    """
-    index, spec = item
-    wall_start = time.perf_counter()
-    cpu_start = time.process_time()
-    mode = "full"
-    fallback_reason = None
-    try:
-        if _WORKER_PROGRAM is not None:
-            from repro.demand import DemandFallback, demand_replay_run
-
-            try:
-                record = demand_replay_run(
-                    _WORKER_ARTIFACTS,
-                    _WORKER_PROGRAM,
-                    spec.config,
-                    rep=spec.rep,
-                    master_seed=spec.master_seed,
-                    **spec.tunables_dict(),
-                )
-                mode = "demand"
-            except DemandFallback as fallback:
-                fallback_reason = fallback.reason
-                record = execute_spec(_WORKER_ARTIFACTS, spec)
-        else:
-            record = execute_spec(_WORKER_ARTIFACTS, spec)
-        row, failure = record.to_json_dict(), None
-    except Exception as exc:  # shipped home; the pool must not die
-        row = None
-        failure = WorkerFailure(
-            spec=spec,
-            exc_type=type(exc).__name__,
-            message=str(exc),
-            traceback_text=traceback.format_exc(),
-        )
-    telemetry = {
-        "pid": os.getpid(),
-        "wall_s": time.perf_counter() - wall_start,
-        "cpu_s": time.process_time() - cpu_start,
-        "mode": mode,
-    }
-    if fallback_reason is not None:
-        telemetry["fallback_reason"] = fallback_reason
-    return index, row, failure, telemetry
-
-
-# --- parent side ------------------------------------------------------------------
-
-
 class FleetEngine:
-    """Dispatch specs across ``jobs`` workers with optional result cache."""
+    """Dispatch specs through a backend with optional result cache.
+
+    ``backend`` is any :class:`~repro.fleet.backends.registry.FleetBackend`;
+    by default a :class:`~repro.fleet.backends.local.LocalBackend` over
+    ``jobs`` worker processes (``jobs == 1`` is the inline serial path).
+    """
 
     def __init__(
         self,
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: ProgressHook | None = None,
+        backend: "FleetBackend | None" = None,
     ) -> None:
         if jobs < 1:
             raise ReproError(f"fleet needs at least one worker, got {jobs}")
+        if backend is None:
+            from repro.fleet.backends.local import LocalBackend
+
+            backend = LocalBackend(jobs)
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.backend = backend
         self.last_stats = FleetStats()
         self._fingerprinted: tuple[WorkloadArtifacts, str] | None = None
 
@@ -262,8 +212,14 @@ class FleetEngine:
         self, artifacts: WorkloadArtifacts, specs: list[RunSpec]
     ) -> list[RunRecord]:
         """Execute ``specs`` and return records in spec order."""
-        stats = FleetStats(total=len(specs))
+        stats = FleetStats(total=len(specs), backend=self.backend.name)
         self.last_stats = stats
+        if self.backend.requires_store and self.cache is None:
+            raise ReproError(
+                f"backend {self.backend.name!r} publishes results to a "
+                "shared store and needs a result cache (it is also what "
+                "makes a killed run resumable); do not disable caching"
+            )
         results: dict[int, RunRecord] = {}
         keys: dict[int, str] = {}
         pending: list[tuple[int, RunSpec]] = []
@@ -286,33 +242,46 @@ class FleetEngine:
         demand_trace = self._demand_trace(artifacts, stats) if pending else None
 
         failures: list[WorkerFailure] = []
-        for index, row, failure, telemetry in self._execute(
-            artifacts, pending, demand_trace
+        for index, row, failure, telemetry in self.backend.execute(
+            artifacts,
+            pending,
+            demand_trace=demand_trace,
+            keys=keys if self.cache is not None else None,
+            store=self.cache,
         ):
             spec = specs[index]
-            stats.run_telemetry.append(telemetry)
+            # A demand cell that fell back is counted by reason whether
+            # its full-replay rerun succeeded or failed; the remaining
+            # accounting splits on the outcome.
+            reason = telemetry.get("fallback_reason")
+            if reason is not None:
+                stats.fallback_reasons[reason] = (
+                    stats.fallback_reasons.get(reason, 0) + 1
+                )
             if failure is not None:
+                # Failed cells are kept out of run_telemetry so the
+                # worker/straggler summaries always agree with executed.
                 failures.append(failure)
                 stats.failures += 1
+                stats.failure_telemetry.append(telemetry)
                 continue
+            stats.run_telemetry.append(telemetry)
             if telemetry.get("mode") == "demand":
                 stats.demand_cells += 1
             else:
                 stats.full_cells += 1
-            reason = telemetry.get("fallback_reason")
             if reason is not None:
                 stats.fallback_cells += 1
-                stats.fallback_reasons[reason] = (
-                    stats.fallback_reasons.get(reason, 0) + 1
-                )
             record = RunRecord.from_json_dict(row)
             results[index] = record
             stats.executed += 1
             if self.cache is not None:
-                self.cache.store(keys[index], record)
+                if not self.backend.stores_results:
+                    self.cache.store(keys[index], record)
                 stats.stored += 1
             self._report(spec, cached=False, telemetry=telemetry)
 
+        stats.redispatched = getattr(self.backend, "last_redispatched", 0)
         self._report_summary(stats)
         if failures:
             failures.sort(key=lambda f: f.spec.label())
@@ -336,7 +305,9 @@ class FleetEngine:
 
         None (full replays throughout) when ``REPRO_DEMAND=0`` or when the
         one-time capture itself fails — a capture failure is recorded in
-        the stats and degrades the run, never aborts it.
+        the stats and degrades the run, never aborts it.  The capture
+        wall time is reported to the progress hook so ETAs extrapolate
+        per-cell cost only, not the one-off setup.
         """
         from repro.demand import (
             DemandTraceStore,
@@ -359,40 +330,16 @@ class FleetEngine:
             return None
         stats.demand_capture_s = time.perf_counter() - capture_start
         stats.demand_trace_source = "captured"
+        self._note_capture(stats.demand_capture_s)
         if store is not None:
             store.store(artifacts, trace)
         return trace
 
-    def _execute(
-        self,
-        artifacts: WorkloadArtifacts,
-        pending: list[tuple[int, RunSpec]],
-        demand_trace=None,
-    ) -> Iterable[tuple[int, dict | None, WorkerFailure | None, dict]]:
-        if not pending:
-            return
-        jobs = min(self.jobs, len(pending))
-        if jobs == 1:
-            # Inline path: identical semantics, no pool overhead.  This is
-            # also the reference the parallel path must be bit-identical to.
-            _init_worker(artifacts, demand_trace)
-            try:
-                for item in pending:
-                    yield _run_in_worker(item)
-            finally:
-                # Drop the parent-process reference so the trace/database
-                # can be collected once the run is over.
-                _init_worker(None)
-            return
-        chunksize = max(1, len(pending) // (jobs * 4))
-        with multiprocessing.Pool(
-            processes=jobs,
-            initializer=_init_worker,
-            initargs=(artifacts, demand_trace),
-        ) as pool:
-            yield from pool.imap_unordered(
-                _run_in_worker, pending, chunksize=chunksize
-            )
+    def _note_capture(self, seconds: float) -> None:
+        """Tell an ETA-aware progress hook about one-time capture cost."""
+        note = getattr(self.progress, "note_capture_seconds", None)
+        if note is not None:
+            note(seconds)
 
     def _report(
         self, spec: RunSpec, cached: bool, telemetry: dict | None = None

@@ -68,11 +68,19 @@ class ProgressReporter:
         self._started_at: float | None = None
         self._seq = 0
         self._last_heartbeat: float | None = None
+        self._capture_s = 0.0
         # pid -> {"runs": int, "wall_s": float, "cpu_s": float}
         self._workers: dict[int, dict] = {}
 
     def bind(self, specs: list[RunSpec]) -> "ProgressReporter":
-        """Learn the grid shape; called by the sweep before dispatch."""
+        """Learn the grid shape; called by the sweep before dispatch.
+
+        Rebinding (a study's next workload) resets every per-grid
+        accumulator — counts, worker aggregates, heartbeat pacing, the
+        demand-capture allowance — so the new grid's heartbeats and
+        ``fleet_summary`` never carry the previous grid's runs.  Only
+        ``seq`` survives: the JSONL stream is one ordered sequence.
+        """
         self._config_index = {}
         self._reps = 0
         for spec in specs:
@@ -81,6 +89,9 @@ class ProgressReporter:
         self._total = len(specs)
         self._done = 0
         self._cached = 0
+        self._workers = {}
+        self._last_heartbeat = None
+        self._capture_s = 0.0
         self._started_at = self._clock()
         self._emit_jsonl(
             {
@@ -187,6 +198,8 @@ class ProgressReporter:
             "executed": stats.executed,
             "stored": stats.stored,
             "failures": stats.failures,
+            "backend": getattr(stats, "backend", "local"),
+            "redispatched": getattr(stats, "redispatched", 0),
             "workers": [
                 {"pid": pid, **data}
                 for pid, data in sorted(self._workers.items())
@@ -208,13 +221,31 @@ class ProgressReporter:
             event["cache"] = {"hits": cache.hits, "misses": cache.misses}
         self._emit_jsonl(event)
 
+    def note_capture_seconds(self, seconds: float | None) -> None:
+        """Record one-time setup wall time (the demand-trace capture).
+
+        The capture happens after :meth:`bind` starts the clock but is
+        paid once per grid, not per cell; folding it into the per-cell
+        extrapolation would overestimate the ETA (badly so on small
+        grids).  The engine reports it here so :meth:`eta_seconds` can
+        exclude it.
+        """
+        if seconds:
+            self._capture_s += seconds
+
     def eta_seconds(self) -> float | None:
-        """Remaining-time estimate from executed runs, or None."""
+        """Remaining-time estimate from executed runs, or None.
+
+        One-time costs reported via :meth:`note_capture_seconds` are
+        excluded: only per-cell time extrapolates to the remaining cells.
+        """
         executed = self._done - self._cached
         remaining = self._total - self._done
         if executed <= 0 or remaining <= 0 or self._started_at is None:
             return None
-        elapsed = self._clock() - self._started_at
+        elapsed = self._clock() - self._started_at - self._capture_s
+        if elapsed < 0:
+            elapsed = 0.0
         return elapsed / executed * remaining
 
     # --- internals ------------------------------------------------------------

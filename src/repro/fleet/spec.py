@@ -18,15 +18,36 @@ from dataclasses import dataclass, field
 Tunables = tuple[tuple[str, object], ...]
 
 
+def _canonical_tunable_value(value: object) -> object:
+    """Collapse numerically equal tunable spellings onto one identity.
+
+    ``boost=1`` and ``boost=1.0`` drive the identical replay (the
+    governor arithmetic does not distinguish them), so they must share
+    one cache key and one RNG-irrelevant spec identity: integral floats
+    become ints.  Bools are left alone — ``True == 1`` numerically, but
+    a flag-valued tunable is not a frequency and must not alias one.
+    """
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value.is_integer():
+            return int(value)
+    return value
+
+
 def freeze_tunables(tunables: dict[str, object] | Tunables | None) -> Tunables:
-    """Normalise governor tunables to a sorted, hashable tuple of pairs."""
+    """Normalise governor tunables to a sorted, hashable tuple of pairs.
+
+    Values are canonicalised (``1.0`` → ``1``) so numerically equal
+    spellings of the same replay share one cache identity.
+    """
     if not tunables:
         return ()
     if isinstance(tunables, dict):
         items = tunables.items()
     else:
         items = tunables
-    return tuple(sorted((str(k), v) for k, v in items))
+    return tuple(
+        sorted((str(k), _canonical_tunable_value(v)) for k, v in items)
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,16 +73,29 @@ class RunSpec:
 
     def cache_token(self) -> str:
         """Canonical JSON identity used in content-addressed cache keys."""
-        return json.dumps(
-            {
-                "dataset": self.dataset,
-                "config": self.config,
-                "rep": self.rep,
-                "master_seed": self.master_seed,
-                "tunables": [list(pair) for pair in self.tunables],
-            },
-            sort_keys=True,
-            separators=(",", ":"),
+        return json.dumps(self.to_wire(), sort_keys=True, separators=(",", ":"))
+
+    def to_wire(self) -> dict:
+        """JSON-safe dict form — the shape queue backends ship around."""
+        return {
+            "dataset": self.dataset,
+            "config": self.config,
+            "rep": self.rep,
+            "master_seed": self.master_seed,
+            "tunables": [list(pair) for pair in self.tunables],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_wire` output (lossless)."""
+        return cls(
+            dataset=wire["dataset"],
+            config=wire["config"],
+            rep=wire["rep"],
+            master_seed=wire["master_seed"],
+            tunables=freeze_tunables(
+                [(key, value) for key, value in wire["tunables"]]
+            ),
         )
 
 

@@ -22,6 +22,7 @@ Examples::
     repro-qoe attribute persona=gamer,seed=7,duration=45s -o annotated.json
     repro-qoe trace-diff baseline.json candidate.json
     repro-qoe sweep --dataset 02 --jobs 4 --progress-jsonl progress.jsonl
+    repro-qoe sweep --dataset 02 --backend distributed:dir=/shared,workers=4
 
 Synthesized scenarios (persona/seed/duration/device-profile config
 strings, see the README's Scenarios section) are interchangeable with
@@ -33,8 +34,12 @@ Sweeps, studies and explorations dispatch their runs through the fleet
 engine (:mod:`repro.fleet`): ``--jobs N`` replays on N worker processes,
 and a content-addressed result cache (``--cache-dir``, default
 ``~/.cache/repro-qoe``; disable with ``--no-cache``) means a re-run only
-executes cells whose inputs changed.  Results are bit-identical to a
-serial, uncached run; ``explore`` keeps its stdout bit-identical across
+executes cells whose inputs changed.  ``--backend NAME[:key=value,...]``
+swaps the execution backend: ``local`` (the default pool) or
+``distributed``, whose workers pull cells from a shared sqlite work
+queue and publish rows to a shared store, so a killed sweep resumes
+where it left off.  Results are bit-identical to a serial, uncached run
+for every backend; ``explore`` keeps its stdout bit-identical across
 ``--jobs`` values by sending timing and cache telemetry to stderr.
 """
 
@@ -132,6 +137,17 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
         help="always re-execute; neither read nor write the result cache",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME[:key=value,...]",
+        help=(
+            "execution backend for the replay fleet (default: local). "
+            "'local:jobs=N' is the in-process / multiprocessing pool; "
+            "'distributed:dir=/shared,workers=4' pulls cells from a "
+            "shared sqlite work queue and publishes rows to a shared "
+            "result store, so several machines (or a restarted sweep) "
+            "can share one grid"
+        ),
+    )
+    parser.add_argument(
         "--progress-jsonl", default=None, metavar="PATH",
         help=(
             "stream machine-readable fleet telemetry (one JSON object per "
@@ -160,6 +176,39 @@ def _cache(args) -> ResultCache | None:
     except OSError as exc:
         raise ReproError(f"unusable cache directory {root}: {exc}") from exc
     return ResultCache(root)
+
+
+def _fleet_backend(args):
+    """Resolve ``--backend``/``--cache-dir``/``--no-cache`` into
+    ``(backend, cache)`` for the fleet engine.
+
+    A backend that requires a shared store (distributed) supplies its
+    own: workers publish rows there and a restarted sweep resumes from
+    it, so the engine's cache *must* be that store — ``--no-cache``
+    contradicts it and a custom ``--cache-dir`` is superseded (noted on
+    stderr so the override is never silent).
+    """
+    from repro.fleet.backends import create_backend
+
+    backend = None
+    if getattr(args, "backend", None):
+        backend = create_backend(args.backend, jobs=args.jobs)
+    if backend is not None and backend.requires_store:
+        if args.no_cache:
+            raise ReproError(
+                f"--no-cache cannot be combined with --backend "
+                f"{backend.name}: workers publish results through the "
+                "shared store"
+            )
+        cache = backend.result_store()
+        if args.cache_dir != DEFAULT_CACHE_DIR:
+            print(
+                f"# --cache-dir superseded: backend {backend.name} uses "
+                f"its shared store at {cache.root}",
+                file=sys.stderr,
+            )
+        return backend, cache
+    return backend, _cache(args)
 
 
 def _master_seed(args) -> int:
@@ -229,7 +278,7 @@ def cmd_sweep(args) -> int:
 
     t0 = time.time()
     seed = _master_seed(args)
-    cache = _cache(args)
+    backend, cache = _fleet_backend(args)
     spec = dataset(_workload_name(args))  # validated before recording
     table = frequency_table_for(spec)
     configs = _sweep_configs_from_args(args, table)
@@ -245,6 +294,7 @@ def cmd_sweep(args) -> int:
             jobs=args.jobs,
             cache=cache,
             progress=_progress(artifacts.name, args.verbose, jsonl),
+            backend=backend,
         )
     finally:
         _close_progress_jsonl(jsonl)
@@ -271,7 +321,7 @@ def cmd_study(args) -> int:
     from repro.scenarios.config import canonical_scenario
 
     seed = _master_seed(args)
-    cache = _cache(args)
+    backend, cache = _fleet_backend(args)
     names = list(args.datasets)
     if args.scenarios:
         names.extend(canonical_scenario(s) for s in args.scenarios)
@@ -294,6 +344,7 @@ def cmd_study(args) -> int:
                 jobs=args.jobs,
                 cache=cache,
                 progress=reporter,
+                backend=backend,
             )
     finally:
         _close_progress_jsonl(jsonl)
@@ -350,13 +401,16 @@ def _explore_progress(verbose: bool, jsonl_stream=None):
         def fleet_summary(self, stats, cache=None):
             reporter.fleet_summary(stats, cache)
 
+        def note_capture_seconds(self, seconds):
+            reporter.note_capture_seconds(seconds)
+
     return _ExploreProgress()
 
 
 def cmd_explore(args) -> int:
     t0 = time.time()
     seed = _master_seed(args)
-    cache = _cache(args)
+    backend, cache = _fleet_backend(args)
     args.dataset = _workload_name(args)  # canonicalised before recording
     space = builtin_space(args.governor)  # validated before recording
     strategy = make_strategy(
@@ -374,6 +428,7 @@ def cmd_explore(args) -> int:
             master_seed=seed,
             oracle_reps=args.reps,
             progress=_explore_progress(args.verbose, jsonl),
+            backend=backend,
         )
         scores = strategy.search(
             space, evaluator.evaluate, args.budget, _explore_rng(seed, args)

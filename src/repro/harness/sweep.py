@@ -204,12 +204,16 @@ def run_sweep(
     progress: Callable[[str, int], None] | ProgressReporter | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    backend=None,
 ) -> SweepResult:
     """Execute the 85-run study for one workload and compose its oracle.
 
     ``jobs`` fans the runs out over a fleet of worker processes and
-    ``cache`` serves already-computed cells from disk; both leave the
-    result bit-identical to the serial, uncached path.
+    ``cache`` serves already-computed cells from disk; ``backend``
+    swaps the execution backend (a
+    :class:`~repro.fleet.backends.registry.FleetBackend`, e.g. the
+    distributed work queue).  All of them leave the result bit-identical
+    to the serial, uncached path.
 
     By default the OPP table and power model come from the workload's
     device profile, so a scenario on ``quad_ls`` sweeps (and composes
@@ -228,7 +232,10 @@ def run_sweep(
         master_seed = artifacts.recording_master_seed
     specs = enumerate_sweep_specs(artifacts.name, configs, reps, master_seed)
     engine = FleetEngine(
-        jobs=jobs, cache=cache, progress=_progress_hook(progress, specs)
+        jobs=jobs,
+        cache=cache,
+        progress=_progress_hook(progress, specs),
+        backend=backend,
     )
     results = engine.run(artifacts, specs)
     runs = group_results_by_config(specs, results, configs)

@@ -1,0 +1,334 @@
+"""Tests for the backend registry, the sqlite work queue and the
+distributed backend's crash/resume semantics."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fleet.backends import (
+    DistributedBackend,
+    LocalBackend,
+    SqliteWorkQueue,
+    backend_names,
+    create_backend,
+    parse_backend_spec,
+)
+from repro.fleet.cache import ResultCache, workload_fingerprint
+from repro.fleet.engine import FleetEngine
+from repro.fleet.spec import RunSpec, enumerate_sweep_specs
+from repro.results import RunRecord
+
+SMALL_CONFIGS = ["fixed:300000", "fixed:2150400", "ondemand"]
+
+
+@pytest.fixture(scope="module")
+def small_specs(artifacts_ds03):
+    return enumerate_sweep_specs(
+        artifacts_ds03.name, SMALL_CONFIGS, 1, artifacts_ds03.recording_master_seed
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(artifacts_ds03, small_specs):
+    return FleetEngine(jobs=1).run(artifacts_ds03, small_specs)
+
+
+# --- registry and spec grammar ------------------------------------------------------
+
+
+def test_backend_spec_grammar():
+    assert parse_backend_spec("local") == ("local", {})
+    assert parse_backend_spec(" local ") == ("local", {})
+    assert parse_backend_spec("local:jobs=8") == ("local", {"jobs": "8"})
+    assert parse_backend_spec("distributed:dir=/shared,workers=4") == (
+        "distributed", {"dir": "/shared", "workers": "4"}
+    )
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "  ", ":", "local:", "local:jobs", "local:jobs=", "local:=8",
+     "local:jobs=8,jobs=9"],
+)
+def test_malformed_backend_specs_raise_one_liners(bad):
+    with pytest.raises(ReproError):
+        parse_backend_spec(bad)
+
+
+def test_registry_lists_builtins_and_rejects_unknowns():
+    assert backend_names() == ["distributed", "local"]
+    with pytest.raises(ReproError, match="unknown fleet backend 'bogus'"):
+        create_backend("bogus")
+    with pytest.raises(ReproError, match="does not take option"):
+        create_backend("local:workers=4")
+
+
+def test_create_backend_defaults_to_local_with_cli_jobs():
+    backend = create_backend(None, jobs=3)
+    assert isinstance(backend, LocalBackend)
+    assert backend.jobs == 3
+    # an explicit option wins over the --jobs default
+    assert create_backend("local:jobs=8", jobs=3).jobs == 8
+
+
+def test_distributed_spec_needs_a_shared_dir(tmp_path):
+    with pytest.raises(ReproError, match="shared directory"):
+        create_backend("distributed")
+    backend = create_backend(
+        f"distributed:dir={tmp_path},workers=4,lease=5,batch=2", jobs=2
+    )
+    assert isinstance(backend, DistributedBackend)
+    assert (backend.workers, backend.lease_s, backend.batch) == (4, 5.0, 2)
+    # workers defaults to the CLI --jobs value
+    assert create_backend(f"distributed:dir={tmp_path}", jobs=5).workers == 5
+
+
+# --- the sqlite work queue ----------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _queue(tmp_path, clock=None):
+    queue = SqliteWorkQueue(tmp_path / "queue.sqlite3", clock=clock or FakeClock())
+    queue.ensure()
+    return queue
+
+
+def _cells(specs):
+    return [(i, spec.to_wire(), f"key-{i}") for i, spec in enumerate(specs)]
+
+
+def test_lease_claims_each_cell_exactly_once(tmp_path):
+    specs = enumerate_sweep_specs("02", ["a"], 3, 2014)
+    queue = _queue(tmp_path)
+    queue.enqueue("run", _cells(specs))
+    first = queue.lease("run", "w0", batch=2, lease_s=30.0)
+    assert [idx for idx, _, _ in first] == [0, 1]
+    second = queue.lease("run", "w1", batch=2, lease_s=30.0)
+    assert [idx for idx, _, _ in second] == [2]
+    # everything leased and unexpired: nothing left to claim
+    assert queue.lease("run", "w1", batch=2, lease_s=30.0) == []
+    assert queue.counts("run") == {"leased": 3}
+    # the leased spec round-trips through the wire format
+    assert RunSpec.from_wire(first[0][1]) == specs[0]
+
+
+def test_expired_lease_is_redispatched_with_attempt_count(tmp_path):
+    """The crash-recovery path: a dead worker's cells come back once its
+    lease expires, and the attempt counter records the re-dispatch."""
+    clock = FakeClock()
+    specs = enumerate_sweep_specs("02", ["a"], 2, 2014)
+    queue = _queue(tmp_path, clock)
+    queue.enqueue("run", _cells(specs))
+    taken = queue.lease("run", "dead-worker", batch=2, lease_s=30.0)
+    assert len(taken) == 2
+    # lease still live: no re-dispatch
+    clock.advance(29.0)
+    assert queue.lease("run", "w1", batch=2, lease_s=30.0) == []
+    assert queue.redispatched("run") == 0
+    # lease expired: both cells re-lease to the live worker
+    clock.advance(2.0)
+    retaken = queue.lease("run", "w1", batch=2, lease_s=30.0)
+    assert [idx for idx, _, _ in retaken] == [0, 1]
+    assert queue.redispatched("run") == 2
+
+
+def test_ack_completes_a_cell_and_done_cells_skips_consumed(tmp_path):
+    specs = enumerate_sweep_specs("02", ["a"], 2, 2014)
+    queue = _queue(tmp_path)
+    queue.enqueue("run", _cells(specs))
+    queue.lease("run", "w0", batch=2, lease_s=30.0)
+    queue.ack("run", 0, row={"x": 1}, failure=None, telemetry={"pid": 9})
+    done = queue.done_cells("run", skip=set())
+    assert done == [(0, {"x": 1}, None, {"pid": 9})]
+    # a consumed cell is never surfaced again
+    assert queue.done_cells("run", skip={0}) == []
+    # a done cell is never re-leased, even after every lease expires
+    queue._clock.advance(1000.0)
+    assert [idx for idx, _, _ in queue.lease("run", "w1", 5, 30.0)] == [1]
+    assert queue.counts("run") == {"done": 1, "leased": 1}
+
+
+def test_release_leases_returns_cells_to_pending(tmp_path):
+    specs = enumerate_sweep_specs("02", ["a"], 3, 2014)
+    queue = _queue(tmp_path)
+    queue.enqueue("run", _cells(specs))
+    queue.lease("run", "w0", batch=3, lease_s=30.0)
+    queue.ack("run", 0, row={"x": 1}, failure=None, telemetry={})
+    assert queue.release_leases("run") == 2
+    assert queue.counts("run") == {"done": 1, "pending": 2}
+
+
+def test_enqueue_sweeps_stale_runs(tmp_path):
+    """The queue is coordination-only state: rows from a killed run are
+    swept on the next enqueue, never resurrected."""
+    specs = enumerate_sweep_specs("02", ["a"], 2, 2014)
+    queue = _queue(tmp_path)
+    queue.enqueue("dead-run", _cells(specs))
+    queue.enqueue("live-run", _cells(specs[:1]))
+    assert queue.counts("dead-run") == {}
+    assert queue.counts("live-run") == {"pending": 1}
+
+
+# --- concurrent and corrupt store rows ----------------------------------------------
+
+
+def _race_store(root, key, record_json, start, iterations):
+    cache = ResultCache(root)
+    record = RunRecord.loads(record_json)
+    start.wait()
+    for _ in range(iterations):
+        cache.store(key, record)
+
+
+def test_concurrent_writers_racing_one_key_never_corrupt_it(
+    tmp_path, serial_results
+):
+    """Two processes hammering store() on the same key (the distributed
+    duplicate-execution case) must leave a loadable, identical row —
+    atomic temp-file + rename, no torn writes, no leftover temp files."""
+    record = serial_results[0]
+    key = "ab" + "0" * 62
+    start = multiprocessing.Event()
+    writers = [
+        multiprocessing.Process(
+            target=_race_store,
+            args=(tmp_path, key, record.dumps(), start, 50),
+        )
+        for _ in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+    start.set()
+    for writer in writers:
+        writer.join(timeout=60)
+    assert all(writer.exitcode == 0 for writer in writers)
+    cache = ResultCache(tmp_path)
+    assert cache.load(key) == record
+    assert not list(tmp_path.glob("*/.tmp-*")), "temp files leaked"
+    assert cache.entry_count() == 1
+
+
+def test_truncated_and_corrupt_rows_are_misses(tmp_path, serial_results):
+    cache = ResultCache(tmp_path)
+    record = serial_results[0]
+    whole = record.dumps()
+    for i, payload in enumerate(
+        [whole[: len(whole) // 2], "", "{}", "not json at all"]
+    ):
+        key = f"{i:02d}" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+        assert cache.load(key) is None
+    assert cache.misses == 4
+    assert cache.hits == 0
+
+
+# --- the distributed backend end to end ---------------------------------------------
+
+
+def _distributed_engine(tmp_path, **kwargs):
+    backend = DistributedBackend(tmp_path / "share", **kwargs)
+    return FleetEngine(cache=backend.result_store(), backend=backend), backend
+
+
+def test_distributed_results_bit_identical_to_serial(
+    tmp_path, artifacts_ds03, small_specs, serial_results
+):
+    engine, backend = _distributed_engine(tmp_path, workers=2, batch=2)
+    results = engine.run(artifacts_ds03, small_specs)
+    assert results == serial_results
+    stats = engine.last_stats
+    assert stats.backend == "distributed"
+    assert stats.executed == len(small_specs)
+    # workers published every row themselves; the engine counted them
+    assert stats.stored == len(small_specs)
+    assert backend.last_workers_lost == 0
+
+
+def test_restarted_sweep_resumes_from_the_shared_store(
+    tmp_path, artifacts_ds03, small_specs, serial_results
+):
+    """Kill-and-restart semantics: a second engine over the same shared
+    directory finds every published row and replays nothing."""
+    first, _ = _distributed_engine(tmp_path, workers=2)
+    first.run(artifacts_ds03, small_specs)
+
+    second, _ = _distributed_engine(tmp_path, workers=2)
+    resumed = second.run(artifacts_ds03, small_specs)
+    assert resumed == serial_results
+    assert second.last_stats.cache_hits == len(small_specs)
+    assert second.last_stats.executed == 0  # zero duplicate replays
+
+
+def test_chaos_killed_worker_redispatches_and_completes(
+    tmp_path, artifacts_ds03, small_specs, serial_results
+):
+    """A worker hard-exits mid-batch; its leased cell must be reclaimed
+    and the run must still produce serial-identical output.
+
+    One worker with ``chaos_exit_after=1`` makes the sequence
+    deterministic: it leases two cells, acks one, dies — the fleet is
+    now empty, so the coordinator releases the orphaned lease and drains
+    inline, dispatching that cell a second time."""
+    engine, backend = _distributed_engine(
+        tmp_path, workers=1, batch=2, lease_s=30.0, chaos_exit_after=1
+    )
+    results = engine.run(artifacts_ds03, small_specs)
+    assert results == serial_results
+    assert backend.last_workers_lost == 1
+    assert backend.last_redispatched >= 1
+    assert engine.last_stats.redispatched == backend.last_redispatched
+    assert engine.last_stats.executed == len(small_specs)
+
+
+def test_published_rows_survive_for_resume_after_chaos(
+    tmp_path, artifacts_ds03, small_specs, serial_results
+):
+    """After a chaos run, every row is in the shared store: a clean
+    restart is a 100% cache-hit run."""
+    chaos, _ = _distributed_engine(
+        tmp_path, workers=1, batch=2, lease_s=30.0, chaos_exit_after=1
+    )
+    chaos.run(artifacts_ds03, small_specs)
+
+    clean, _ = _distributed_engine(tmp_path, workers=2)
+    resumed = clean.run(artifacts_ds03, small_specs)
+    assert resumed == serial_results
+    assert clean.last_stats.executed == 0
+
+
+def test_distributed_requires_a_store(tmp_path, artifacts_ds03, small_specs):
+    backend = DistributedBackend(tmp_path / "share", workers=1)
+    with pytest.raises(ReproError, match="shared store"):
+        FleetEngine(cache=None, backend=backend).run(
+            artifacts_ds03, small_specs
+        )
+
+
+def test_failures_cross_the_queue_with_their_tracebacks(
+    tmp_path, artifacts_ds03, small_specs
+):
+    from repro.fleet.engine import FleetError
+
+    bad = RunSpec(artifacts_ds03.name, "warp-drive", 0, 2014)
+    engine, _ = _distributed_engine(tmp_path, workers=2)
+    with pytest.raises(FleetError) as excinfo:
+        engine.run(artifacts_ds03, list(small_specs[:1]) + [bad])
+    failure = excinfo.value.failures[0]
+    assert failure.spec == bad
+    assert failure.exc_type == "GovernorError"
+    assert "Traceback" in failure.traceback_text
+    assert engine.last_stats.executed == 1

@@ -75,3 +75,78 @@ def test_surviving_specs_still_run_alongside_a_failure(artifacts_ds03, small_spe
 def test_zero_workers_rejected():
     with pytest.raises(ReproError):
         FleetEngine(jobs=0)
+
+
+# --- accounting consistency ---------------------------------------------------------
+
+
+def test_failed_cells_keep_summaries_consistent_with_executed(
+    artifacts_ds03, small_specs
+):
+    """Regression: failed cells' telemetry used to be appended to
+    ``run_telemetry``, so the worker and straggler summaries counted runs
+    that ``executed`` did not."""
+    bad = RunSpec(artifacts_ds03.name, "warp-drive", 0, 2014)
+    engine = FleetEngine(jobs=2)
+    with pytest.raises(FleetError):
+        engine.run(artifacts_ds03, small_specs[:2] + [bad])
+    stats = engine.last_stats
+    assert stats.executed == 2
+    assert stats.failures == 1
+    assert len(stats.run_telemetry) == stats.executed
+    assert len(stats.failure_telemetry) == stats.failures
+    assert stats.straggler_summary()["runs"] == stats.executed
+    assert (
+        sum(w["runs"] for w in stats.worker_summary().values())
+        == stats.executed
+    )
+
+
+def test_fallback_reason_counted_even_when_full_rerun_fails(
+    artifacts_ds03, small_specs, serial_results
+):
+    """Regression: a demand cell that fell back and then failed its full
+    rerun skipped the ``fallback_reasons`` count, hiding the fallback
+    from telemetry.  Driven through a stub backend so the
+    fallback-then-failure sequence is deterministic."""
+    from repro.fleet.backends.registry import FleetBackend
+    from repro.fleet.engine import WorkerFailure
+
+    row = serial_results[0].to_json_dict()
+    failure = WorkerFailure(
+        spec=small_specs[1],
+        exc_type="ReplayError",
+        message="boom",
+        traceback_text="Traceback (most recent call last): boom",
+    )
+
+    class StubBackend(FleetBackend):
+        name = "stub"
+
+        def execute(
+            self, artifacts, pending, demand_trace=None, keys=None, store=None
+        ):
+            # cell 0: fell back, full rerun succeeded
+            yield 0, row, None, {
+                "pid": 1, "wall_s": 1.0, "cpu_s": 1.0, "mode": "full",
+                "fallback_reason": "divergence",
+            }
+            # cell 1: fell back, full rerun failed
+            yield 1, None, failure, {
+                "pid": 1, "wall_s": 1.0, "cpu_s": 1.0, "mode": "full",
+                "fallback_reason": "divergence",
+            }
+
+    engine = FleetEngine(backend=StubBackend())
+    with pytest.raises(FleetError):
+        engine.run(artifacts_ds03, list(small_specs[:2]))
+    stats = engine.last_stats
+    assert stats.backend == "stub"
+    # both fallbacks counted, outcome notwithstanding…
+    assert stats.fallback_reasons == {"divergence": 2}
+    # …but only the successful cell is a fallback *cell* (a full_cells
+    # member), and the summaries still agree with executed.
+    assert stats.fallback_cells == 1
+    assert stats.executed == 1
+    assert stats.full_cells == 1
+    assert stats.straggler_summary()["runs"] == stats.executed

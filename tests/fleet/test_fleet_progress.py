@@ -160,6 +160,95 @@ def test_seq_continues_across_rebinds_like_a_study():
     assert events[-1]["done"] == 1
 
 
+def test_rebind_resets_worker_aggregates_and_heartbeat_pacing():
+    """Regression: bind() once forgot _workers/_last_heartbeat, so a
+    study's second workload inherited the first grid's worker aggregates
+    (its fleet_summary over-counted runs) and its first heartbeat could
+    be suppressed by the previous grid's pacing."""
+    from repro.fleet.engine import FleetStats
+
+    clock = FakeClock()
+    jsonl = io.StringIO()
+    reporter = ProgressReporter(
+        "study", stream=io.StringIO(), jsonl_stream=jsonl, clock=clock,
+        heartbeat_s=10.0,
+    )
+    specs_a = enumerate_sweep_specs("02", ["a"], 1, 2014)
+    reporter.bind(specs_a)
+    reporter.observe(
+        specs_a[0], telemetry={"pid": 11, "wall_s": 1.0, "cpu_s": 0.9}
+    )
+    clock.advance(9.0)  # next heartbeat would be suppressed until t=10
+
+    specs_b = enumerate_sweep_specs("03", ["a"], 1, 2014)
+    reporter.bind(specs_b)
+    reporter.observe(
+        specs_b[0], telemetry={"pid": 22, "wall_s": 2.0, "cpu_s": 1.8}
+    )
+    reporter.fleet_summary(FleetStats(total=1, executed=1))
+
+    events = [json.loads(line) for line in jsonl.getvalue().splitlines()]
+    summary = events[-1]
+    assert summary["event"] == "fleet_summary"
+    # only the second grid's worker — pid 11's aggregates are gone
+    assert [worker["pid"] for worker in summary["workers"]] == [22]
+    assert summary["workers"][0] == {
+        "pid": 22, "runs": 1, "wall_s": 2.0, "cpu_s": 1.8,
+    }
+    # the rebind cleared heartbeat pacing: the new grid's first
+    # observation heartbeats immediately instead of waiting out the old
+    # grid's interval
+    beats = [event for event in events if event["event"] == "heartbeat"]
+    assert [sorted(beat["workers"]) for beat in beats] == [["11"], ["22"]]
+
+
+def test_eta_excludes_one_time_capture_seconds():
+    """Regression: eta_seconds() folded the one-time demand-capture wall
+    time into the per-cell extrapolation, wildly overestimating small
+    grids."""
+    clock = FakeClock()
+    specs = enumerate_sweep_specs("02", ["a"], 4, 2014)
+    reporter = ProgressReporter(
+        "02", stream=io.StringIO(), clock=clock
+    ).bind(specs)
+    clock.advance(30.0)  # demand-trace capture: paid once, not per cell
+    reporter.note_capture_seconds(30.0)
+    clock.advance(2.0)
+    reporter(specs[0], cached=False)
+    # 1 executed cell in 2s of per-cell time -> 3 remaining ≈ 6s, not
+    # the 96s a naive (elapsed/executed)*remaining would claim.
+    assert reporter.eta_seconds() == 6.0
+
+
+def test_capture_allowance_does_not_survive_rebind():
+    """The next grid captures (or not) on its own; a stale allowance
+    would deflate its ETA."""
+    clock = FakeClock()
+    reporter = ProgressReporter("study", stream=io.StringIO(), clock=clock)
+    specs_a = enumerate_sweep_specs("02", ["a"], 2, 2014)
+    reporter.bind(specs_a)
+    reporter.note_capture_seconds(100.0)
+    specs_b = enumerate_sweep_specs("03", ["a"], 2, 2014)
+    reporter.bind(specs_b)
+    clock.advance(4.0)
+    reporter(specs_b[0], cached=False)
+    assert reporter.eta_seconds() == 4.0
+
+
+def test_eta_never_negative_when_capture_overlaps_elapsed():
+    """A capture allowance larger than elapsed clamps at zero instead of
+    extrapolating a negative remainder."""
+    clock = FakeClock()
+    specs = enumerate_sweep_specs("02", ["a"], 2, 2014)
+    reporter = ProgressReporter(
+        "02", stream=io.StringIO(), clock=clock
+    ).bind(specs)
+    clock.advance(1.0)
+    reporter.note_capture_seconds(5.0)
+    reporter(specs[0], cached=False)
+    assert reporter.eta_seconds() == 0.0
+
+
 def test_heartbeats_are_rate_limited_by_the_injected_clock():
     clock = FakeClock()
     jsonl = io.StringIO()
