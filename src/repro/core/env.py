@@ -40,6 +40,11 @@ KNOWN_FLAGS: dict[str, tuple[bool, str]] = {
         "kernel-only sweep evaluation over demand traces "
         "(0 = full replay per cell)",
     ),
+    "REPRO_DEMAND_COMPILE": (
+        True,
+        "flat-array compiled demand walk "
+        "(0 = A/B-verify the node-object interpreter)",
+    ),
 }
 
 # name -> (raw environ string at parse time, parsed value).  The raw

@@ -3,14 +3,25 @@ evaluate governor configurations with a kernel-only pass many times.
 
 See :mod:`repro.demand.trace` for the data model,
 :mod:`repro.demand.capture` for the instrumented capture replay,
+:mod:`repro.demand.compile` for the flat-array lowering pass,
 :mod:`repro.demand.replayer` for the evaluation pass, and
 :mod:`repro.demand.store` for the fleet-side trace cache.  The fleet
 engine wires all of it together behind the ``REPRO_DEMAND`` kill
-switch.
+switch; the compiled walk has its own ``REPRO_DEMAND_COMPILE`` switch.
 """
 
 from repro.demand.capture import DemandCaptureError, DemandRecorder, capture_demand
-from repro.demand.replayer import DemandFallback, DemandProgram, demand_replay_run
+from repro.demand.compile import (
+    CompiledDemand,
+    compile_trace,
+    demand_compile_enabled,
+)
+from repro.demand.replayer import (
+    DemandFallback,
+    DemandProgram,
+    demand_replay_run,
+    make_executor,
+)
 from repro.demand.store import DemandTraceStore, demand_trace_key
 from repro.demand.trace import (
     DEMAND_TRACE_SCHEMA_VERSION,
@@ -21,6 +32,7 @@ from repro.demand.trace import (
 
 __all__ = [
     "DEMAND_TRACE_SCHEMA_VERSION",
+    "CompiledDemand",
     "DemandCaptureError",
     "DemandFallback",
     "DemandNode",
@@ -30,8 +42,11 @@ __all__ = [
     "DemandTraceError",
     "DemandTraceStore",
     "capture_demand",
+    "compile_trace",
+    "demand_compile_enabled",
     "demand_replay_run",
     "demand_trace_key",
+    "make_executor",
 ]
 
 

@@ -44,10 +44,20 @@ blink) from capture time, none of which can move a match time.
 from __future__ import annotations
 
 import zlib
+from functools import partial
 
 import numpy as np
 
 from repro.core.errors import MatchError, ReproError
+from repro.demand.compile import (
+    OP_CHAIN_START,
+    OP_INVALIDATE,
+    OP_TASK,
+    OP_TIMER,
+    CompiledDemand,
+    compile_trace,
+    demand_compile_enabled,
+)
 from repro.demand.tablematch import BLANK_STATE, ShadowStreamer, TableMatcher
 from repro.demand.trace import (
     KIND_CHAIN_START,
@@ -58,7 +68,7 @@ from repro.demand.trace import (
     DemandNode,
     DemandTrace,
 )
-from repro.kernel.task import PRIORITY_FOREGROUND, Task
+from repro.kernel.task import PRIORITY_FOREGROUND, Task, _task_ids
 from repro.kernel.workchains import PeriodicWorkChain
 
 
@@ -100,6 +110,13 @@ class DemandProgram:
                 for index, states in enumerate(trace.match_states)
             ]
         self._states: list | None = None
+        self._compiled: CompiledDemand | None = None
+
+    def compiled(self) -> CompiledDemand:
+        """The trace's flat-array form (lowered once, shared by cells)."""
+        if self._compiled is None:
+            self._compiled = compile_trace(self.trace)
+        return self._compiled
 
     def states(self) -> list:
         """Decompressed framebuffer states (pixel path only, lazy)."""
@@ -237,6 +254,193 @@ class _DemandExecutor:
                 chain.stop()
 
 
+class _DemandTask(Task):
+    """A compiled task node's live submission.
+
+    Carries its compiled action tuple so one shared completion callback
+    can find the node id, priority and child list — the interpreter
+    allocates a fresh closure per task submission instead.  The direct
+    ``__init__`` skips ``Task.__init__``'s keyword parsing and payload
+    validation: compiled payloads are pre-floated and trace-validated
+    (see :func:`~repro.demand.compile.compile_trace`), and the shared
+    task-id counter keeps ids in step with the interpreter's.
+    """
+
+    __slots__ = ("action",)
+
+    def __init__(self, action: tuple, on_complete) -> None:
+        # (op, node_id, name, cycles, priority, children)
+        self.task_id = next(_task_ids)
+        self.name = action[2]
+        cycles = action[3]
+        self.cycles = cycles
+        self.priority = action[4]
+        self.on_complete = on_complete
+        self.remaining_cycles = cycles
+        self.submitted_at = None
+        self.started_at = None
+        self.completed_at = None
+        self.action = action
+
+
+class _CompiledExecutor:
+    """Walks the compiled flat-array form of a demand trace.
+
+    Semantically identical to :class:`_DemandExecutor` — both issue the
+    same scheduler submissions and engine timers in the same order, so
+    the engine's deterministic event sequence (and therefore the emitted
+    :class:`~repro.results.RunRecord`) is bit-identical.  The difference
+    is purely mechanical: every node resolves to a precomputed action
+    tuple carrying the opcode, the verbatim payloads and the node's
+    children as a preallocated list of the child tuples
+    (:class:`~repro.demand.compile.CompiledDemand`), task completions
+    share one bound method instead of a per-task closure, and timers
+    re-arm a :func:`functools.partial` over the prebuilt child list
+    instead of a fresh lambda.
+    """
+
+    __slots__ = (
+        "_engine",
+        "_scheduler",
+        "_schedule_after",
+        "_submit",
+        "_invalidate",
+        "_setup_actions",
+        "_input_actions",
+        "_guards",
+        "_pixels",
+        "_states",
+        "_frame",
+        "current_state",
+        "_chains",
+        "_fg_inflight",
+        "_next_ordinal",
+    )
+
+    def __init__(self, device, program: DemandProgram, pixels: bool) -> None:
+        compiled = program.compiled()
+        self._engine = device.engine
+        self._scheduler = device.scheduler
+        # Bound-method interning: the inner loop calls these thousands
+        # of times per cell; one attribute load here beats two per node.
+        self._schedule_after = device.engine.schedule_after
+        self._submit = device.scheduler.submit
+        self._invalidate = device.display.invalidate
+        self._setup_actions = compiled.setup_actions
+        self._input_actions = compiled.input_actions
+        self._guards = compiled.guards
+        self._pixels = pixels
+        self._states: list | None = None
+        self._frame = None
+        if pixels:
+            self._states = program.states()
+            device.display.set_composer(self._paint)
+        #: Interned state id the screen would show (BLANK_STATE at boot).
+        self.current_state = BLANK_STATE
+        self._chains: dict[int, PeriodicWorkChain] = {}
+        self._fg_inflight: set[int] = set()
+        self._next_ordinal = 0
+
+    # --- composition -------------------------------------------------------------
+
+    def _paint(self, framebuffer) -> None:
+        if self._frame is not None:
+            framebuffer[:] = self._frame
+
+    # --- trace walking -----------------------------------------------------------
+
+    def run_setup(self) -> None:
+        """Execute the app-installation phase (engine time 0)."""
+        self._run_list(self._setup_actions)
+
+    def on_input(self, event) -> None:
+        """Input-node observer: check the guard, run the ordinal's demand."""
+        ordinal = self._next_ordinal
+        self._next_ordinal = ordinal + 1
+        guards = self._guards
+        expected = guards[ordinal] if ordinal < len(guards) else ()
+        actual = tuple(sorted(self._fg_inflight))
+        if actual != expected:
+            raise DemandFallback(
+                f"input {ordinal} at t={self._engine.now}: foreground tasks "
+                f"in flight {list(actual)} != recorded {list(expected)} — "
+                "this config perturbs recorded think-time boundaries",
+                reason="guard_mismatch",
+            )
+        roots = self._input_actions
+        if ordinal < len(roots):
+            actions = roots[ordinal]
+            if actions is not None:
+                self._run_list(actions)
+
+    def _task_done(self, task) -> None:
+        """Shared completion callback for every submitted task node."""
+        action = task.action
+        # (op, node_id, name, cycles, priority, children)
+        if action[4] == PRIORITY_FOREGROUND:
+            self._fg_inflight.discard(action[1])
+        children = action[5]
+        if children is not None:
+            self._run_list(children)
+
+    def _run_list(self, actions: list) -> None:
+        """Execute one prebuilt action list — the compiled inner loop."""
+        for action in actions:
+            op = action[0]
+            if op == OP_TASK:
+                # (op, node_id, name, cycles, priority, children)
+                if action[4] == PRIORITY_FOREGROUND:
+                    self._fg_inflight.add(action[1])
+                self._submit(_DemandTask(action, self._task_done))
+            elif op == OP_INVALIDATE:
+                # (op, state_id)
+                state = action[1]
+                self.current_state = state
+                if self._pixels:
+                    self._frame = self._states[state]
+                self._invalidate()
+            elif op == OP_TIMER:
+                # (op, delay_us, children).  A childless timer produced
+                # no recorded demand; skipping it is invisible to the
+                # kernel.
+                children = action[2]
+                if children is not None:
+                    self._schedule_after(
+                        action[1],
+                        partial(self._run_list, children),
+                    )
+            elif op == OP_CHAIN_START:
+                # (op, chain_key, name, period_us, cycles, priority)
+                key = action[1]
+                chain = self._chains.get(key)
+                if chain is None:
+                    chain = PeriodicWorkChain(
+                        self._engine,
+                        self._scheduler,
+                        action[2],
+                        action[3],
+                        action[4],
+                        priority=action[5],
+                    )
+                    self._chains[key] = chain
+                chain.start()
+            else:  # OP_CHAIN_STOP: (op, chain_key)
+                chain = self._chains.get(action[1])
+                if chain is not None:
+                    chain.stop()
+
+
+def make_executor(device, program: DemandProgram, pixels: bool = False):
+    """The executor :func:`demand_replay_run` would use right now.
+
+    Selected per call from ``REPRO_DEMAND_COMPILE``: the compiled
+    flat-array walk by default, the node-object interpreter under the
+    ``=0`` kill switch.  Exposed for the perf harness and A/B tests.
+    """
+    cls = _CompiledExecutor if demand_compile_enabled() else _DemandExecutor
+    return cls(device, program, pixels)
+
+
 def demand_replay_run(
     artifacts,
     trace: DemandTrace | DemandProgram,
@@ -254,7 +458,10 @@ def demand_replay_run(
     :class:`~repro.results.RunRecord` shape including the observability
     harvest.  Raises :class:`DemandFallback` when the cell needs a full
     replay.  ``trace`` may be a prebuilt :class:`DemandProgram` to share
-    preprocessing across a sweep's cells.
+    preprocessing across a sweep's cells.  The trace walk itself runs
+    the compiled flat-array executor unless ``REPRO_DEMAND_COMPILE=0``
+    selects the node-object interpreter; the emitted record is
+    bit-identical either way.
     """
     from repro.analysis import Matcher, OnlineMatcher
     from repro.apps.services import BackgroundServices
@@ -289,7 +496,7 @@ def demand_replay_run(
         # frame tap needs real frames, so it forces the pixel path.
         pixels = frame_tap is not None or program.match_sets is None
         device = Device(device_config)
-        executor = _DemandExecutor(device, program, pixels)
+        executor = make_executor(device, program, pixels)
         # Same observer order as a full replay: the window manager's
         # decoder registers before the governor's input boost; here the
         # executor takes the decoder's slot.

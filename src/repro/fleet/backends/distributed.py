@@ -11,7 +11,11 @@ Lease/ack semantics make the queue crash-safe:
 
 * leasing a cell marks it ``leased`` with an expiry ``lease`` seconds
   out and bumps its attempt counter; acking marks it ``done`` and
-  attaches the result row (or the captured failure) plus telemetry,
+  attaches the result row (or the captured failure) plus telemetry.
+  With ``batch=N`` a worker leases N cells in one transaction, executes
+  them all, and acks them all in one transaction — one queue round-trip
+  per N cells, which matters once the demand pass makes cells cheap
+  enough that per-cell dispatch overhead shows,
 * a worker that dies mid-batch never acks — its cells' leases expire
   and any live worker re-leases them (straggler re-dispatch).  A *slow*
   worker that outlives its lease causes at worst a duplicate execution,
@@ -102,6 +106,13 @@ class SqliteWorkQueue:
         # exactly one short critical section.
         conn = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
         conn.execute("PRAGMA busy_timeout=30000")
+        # The queue is coordination-only state: durable truth lives in
+        # the record store, and rows are published there *before* the
+        # ack.  synchronous=NORMAL (safe with WAL — a power loss can
+        # roll back the last transactions but never corrupt the file)
+        # therefore risks at worst a duplicate execution, never a lost
+        # result, and drops an fsync from every lease/ack.
+        conn.execute("PRAGMA synchronous=NORMAL")
         return conn
 
     def _mutate(self, operate) -> object:
@@ -128,7 +139,17 @@ class SqliteWorkQueue:
 
     def ensure(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._read(lambda conn: conn.executescript(_SCHEMA))
+
+        def operate(conn):
+            # WAL journal mode is persistent (recorded in the database
+            # file), so setting it once here covers every later worker
+            # connection: readers stop blocking the writer, and short
+            # lease/ack transactions append to the log instead of
+            # rewriting pages under a rollback journal.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.executescript(_SCHEMA)
+
+        self._read(operate)
 
     def enqueue(
         self, run_id: str, cells: list[tuple[int, dict, str]]
@@ -195,20 +216,40 @@ class SqliteWorkQueue:
         telemetry: dict,
     ) -> None:
         """Mark one cell done with its result (idempotent: last ack wins)."""
+        self.ack_many(run_id, [(index, row, failure, telemetry)])
+
+    def ack_many(
+        self,
+        run_id: str,
+        acks: list[tuple[int, dict | None, dict | None, dict]],
+    ) -> None:
+        """Mark a batch of ``(index, row, failure, telemetry)`` cells done.
+
+        One ``BEGIN IMMEDIATE`` covers the whole batch, so a ``batch=N``
+        worker pays one queue round-trip (and one WAL sync point) per N
+        cells instead of per cell.  Idempotent like :meth:`ack`; an
+        empty batch is a no-op.
+        """
+        if not acks:
+            return
+        payload = [
+            (
+                None if row is None else json.dumps(row, sort_keys=True),
+                None
+                if failure is None
+                else json.dumps(failure, sort_keys=True),
+                json.dumps(telemetry, sort_keys=True),
+                run_id,
+                index,
+            )
+            for index, row, failure, telemetry in acks
+        ]
         self._mutate(
-            lambda conn: conn.execute(
+            lambda conn: conn.executemany(
                 "UPDATE cells SET state = 'done', lease_expires = NULL, "
                 "row = ?, failure = ?, telemetry = ? "
                 "WHERE run_id = ? AND idx = ?",
-                (
-                    None if row is None else json.dumps(row, sort_keys=True),
-                    None
-                    if failure is None
-                    else json.dumps(failure, sort_keys=True),
-                    json.dumps(telemetry, sort_keys=True),
-                    run_id,
-                    index,
-                ),
+                payload,
             )
         )
 
@@ -296,12 +337,17 @@ def _work_cells(
     wait_for_stragglers: bool,
     chaos_exit_after: int | None = None,
 ) -> None:
-    """The pull loop: lease, execute, publish, ack — until the queue drains.
+    """The pull loop: lease a batch, execute it, publish, ack — until
+    the queue drains.
 
     Assumes :func:`~repro.fleet.backends.local.init_worker` already
-    installed this process's artifacts (and demand program).  The row is
-    published to the shared store *before* the ack, so a cell the queue
-    says is done is always resumable from the store.
+    installed this process's artifacts (and demand program).  Every row
+    is published to the shared store *before* its ack, so a cell the
+    queue says is done is always resumable from the store.  The batch
+    acks in one transaction; a worker that dies mid-batch leaves its
+    executed-but-unacked cells leased, and their re-execution after
+    lease expiry is harmless — replays are deterministic and the store
+    publish is an idempotent identical-bytes write.
     """
     from repro.fleet.backends.local import run_spec_cell
     from repro.results import RunRecord
@@ -317,23 +363,34 @@ def _work_cells(
                 return
             time.sleep(WORKER_IDLE_S)
             continue
+        acks: list[tuple[int, dict | None, dict | None, dict]] = []
+        chaos_now = False
         for index, wire, key in cells:
             spec = RunSpec.from_wire(wire)
             _, row, failure, telemetry = run_spec_cell((index, spec))
             if row is not None and store is not None:
                 store.store(key, RunRecord.from_json_dict(row))
-            queue.ack(
-                run_id,
-                index,
-                row=row,
-                failure=None if failure is None else _failure_to_wire(failure),
-                telemetry=telemetry,
+            acks.append(
+                (
+                    index,
+                    row,
+                    None if failure is None else _failure_to_wire(failure),
+                    telemetry,
+                )
             )
-            acked += 1
-            if chaos_exit_after is not None and acked >= chaos_exit_after:
-                # Test/CI knob: die mid-batch without cleanup.  Leased,
-                # un-acked cells expire and re-dispatch to live workers.
-                os._exit(17)
+            if (
+                chaos_exit_after is not None
+                and acked + len(acks) >= chaos_exit_after
+            ):
+                # Test/CI knob: flush the acks so far, then die mid-batch
+                # without cleanup.  The batch's remaining leased, un-acked
+                # cells expire and re-dispatch to live workers.
+                chaos_now = True
+                break
+        queue.ack_many(run_id, acks)
+        acked += len(acks)
+        if chaos_now:
+            os._exit(17)
 
 
 def _distributed_worker(
@@ -385,6 +442,11 @@ class DistributedBackend(FleetBackend):
         if workers < 1:
             raise ReproError(
                 f"distributed backend needs at least one worker, got {workers}"
+            )
+        if batch < 1:
+            raise ReproError(
+                f"distributed backend needs a batch of at least one cell, "
+                f"got {batch}"
             )
         self.root = Path(root).expanduser()
         self.queue_path = self.root / self.QUEUE_FILENAME

@@ -38,9 +38,16 @@ executes cells whose inputs changed.  ``--backend NAME[:key=value,...]``
 swaps the execution backend: ``local`` (the default pool) or
 ``distributed``, whose workers pull cells from a shared sqlite work
 queue and publish rows to a shared store, so a killed sweep resumes
-where it left off.  Results are bit-identical to a serial, uncached run
+where it left off (``batch=N`` leases and acks N cells per queue
+transaction).  Results are bit-identical to a serial, uncached run
 for every backend; ``explore`` keeps its stdout bit-identical across
 ``--jobs`` values by sending timing and cache telemetry to stderr.
+
+Kill switches (``REPRO_*`` environment flags, see
+:mod:`repro.core.env`): ``REPRO_DEMAND=0`` disables the kernel-only
+demand pass, ``REPRO_DEMAND_COMPILE=0`` swaps the compiled flat-array
+demand walk for the node-object interpreter — both A/B switches whose
+results are bit-identical either way.
 """
 
 from __future__ import annotations

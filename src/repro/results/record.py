@@ -170,8 +170,11 @@ class RunRecord:
             energy_j=row["energy_j"],
             dynamic_energy_j=row["dynamic_energy_j"],
             busy_us=row["busy_us"],
-            transitions=IntPairs(row["transitions"]),
-            busy_intervals=IntPairs(row["busy_intervals"]),
+            # Wire rows adopt lazily: the warm-cache scan loads hundreds
+            # of rows whose traces are mostly never read, so the
+            # element-wise decode is deferred to first access.
+            transitions=IntPairs.from_lists(row["transitions"]),
+            busy_intervals=IntPairs.from_lists(row["busy_intervals"]),
             lags=tuple(
                 LagMeasurement(
                     lag_index=lag["lag_index"],

@@ -63,19 +63,30 @@ class TestKnownFlags:
         assert KNOWN_FLAGS["REPRO_FASTPATH"][0] is True
         assert KNOWN_FLAGS["REPRO_STREAM"][0] is True
         assert KNOWN_FLAGS["REPRO_TRACE"][0] is False
+        assert KNOWN_FLAGS["REPRO_DEMAND"][0] is True
+        assert KNOWN_FLAGS["REPRO_DEMAND_COMPILE"][0] is True
 
     def test_module_call_sites_agree_with_documented_defaults(self, monkeypatch):
         """The one call site per flag uses the KNOWN_FLAGS default."""
         from repro.capture.stream import stream_enabled
+        from repro.demand import demand_compile_enabled
         from repro.governors.base import idle_fastpath_enabled
         from repro.obs.session import trace_enabled
 
-        for name in ("REPRO_FASTPATH", "REPRO_STREAM", "REPRO_TRACE"):
+        for name in (
+            "REPRO_FASTPATH",
+            "REPRO_STREAM",
+            "REPRO_TRACE",
+            "REPRO_DEMAND_COMPILE",
+        ):
             monkeypatch.delenv(name, raising=False)
         reset_env_flag_cache()
         assert idle_fastpath_enabled() is KNOWN_FLAGS["REPRO_FASTPATH"][0]
         assert stream_enabled() is KNOWN_FLAGS["REPRO_STREAM"][0]
         assert trace_enabled() is KNOWN_FLAGS["REPRO_TRACE"][0]
+        assert (
+            demand_compile_enabled() is KNOWN_FLAGS["REPRO_DEMAND_COMPILE"][0]
+        )
 
     def test_kill_switches_disarm_their_modules(self, monkeypatch):
         from repro.capture.stream import stream_enabled

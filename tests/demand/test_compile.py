@@ -1,0 +1,310 @@
+"""The demand compiler: lowering round-trip, CSR layout, A/B equivalence."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demand.compile import (
+    OP_CHAIN_START,
+    OP_CHAIN_STOP,
+    OP_INVALIDATE,
+    OP_TASK,
+    OP_TIMER,
+    compile_trace,
+    demand_compile_enabled,
+)
+from repro.demand.replayer import (
+    DemandFallback,
+    DemandProgram,
+    _CompiledExecutor,
+    _DemandExecutor,
+    make_executor,
+)
+from repro.demand.trace import (
+    KIND_CHAIN_START,
+    KIND_CHAIN_STOP,
+    KIND_INVALIDATE,
+    KIND_TASK,
+    KIND_TIMER,
+    DemandNode,
+    DemandTrace,
+)
+from repro.device.device import Device
+
+WIDTH = HEIGHT = 4
+STATE = zlib.compress(bytes(WIDTH * HEIGHT))
+
+
+def _trace(nodes, input_events=0, guards=None, states=2):
+    trace = DemandTrace(
+        workload="test:compile",
+        capture_config="fixed:300000",
+        duration_us=1_000_000,
+        width=WIDTH,
+        height=HEIGHT,
+        input_events=input_events,
+        nodes=nodes,
+        states=[STATE] * states,
+        guards=guards or {},
+    )
+    trace.validate()
+    return trace
+
+
+def _rich_trace():
+    """One of each node kind, setup + input roots + nested children."""
+    nodes = [
+        DemandNode(
+            node_id=0,
+            kind=KIND_CHAIN_START,
+            chain_key=7,
+            name="svc:poll",
+            period_us=40_000,
+            cycles=2.5e6,
+            priority=1,
+        ),
+        DemandNode(
+            node_id=1, kind=KIND_TASK, name="setup", cycles=1e6, priority=1
+        ),
+        DemandNode(node_id=2, kind=KIND_INVALIDATE, parent=1, state_id=0),
+        DemandNode(
+            node_id=3,
+            kind=KIND_TASK,
+            input_ordinal=0,
+            name="tap",
+            cycles=3e6,
+            priority=0,
+        ),
+        DemandNode(node_id=4, kind=KIND_TIMER, parent=3, delay_us=2_000),
+        DemandNode(
+            node_id=5,
+            kind=KIND_TASK,
+            parent=4,
+            name="render",
+            cycles=2e6,
+            priority=0,
+        ),
+        DemandNode(node_id=6, kind=KIND_INVALIDATE, parent=5, state_id=1),
+        DemandNode(node_id=7, kind=KIND_TIMER, parent=3, delay_us=500),
+        DemandNode(node_id=8, kind=KIND_CHAIN_STOP, input_ordinal=1, chain_key=7),
+        DemandNode(
+            node_id=9,
+            kind=KIND_TASK,
+            input_ordinal=1,
+            name="tap2",
+            cycles=1e6,
+            priority=0,
+        ),
+    ]
+    return _trace(nodes, input_events=2, guards={1: ()})
+
+
+def test_columns_round_trip_node_fields():
+    trace = _rich_trace()
+    compiled = compile_trace(trace)
+    ops = {
+        KIND_TASK: OP_TASK,
+        KIND_TIMER: OP_TIMER,
+        KIND_INVALIDATE: OP_INVALIDATE,
+        KIND_CHAIN_START: OP_CHAIN_START,
+        KIND_CHAIN_STOP: OP_CHAIN_STOP,
+    }
+    assert compiled.node_count == len(trace.nodes)
+    assert compiled.input_events == trace.input_events
+    for node in trace.nodes:
+        i = node.node_id
+        assert compiled.kind[i] == ops[node.kind]
+        assert compiled.priority[i] == (
+            -1 if node.priority is None else node.priority
+        )
+        assert compiled.delay_us[i] == (
+            -1 if node.delay_us is None else node.delay_us
+        )
+        assert compiled.state_id[i] == (
+            -1 if node.state_id is None else node.state_id
+        )
+        assert compiled.chain_key[i] == (
+            -1 if node.chain_key is None else node.chain_key
+        )
+        assert compiled.period_us[i] == (
+            -1 if node.period_us is None else node.period_us
+        )
+        assert compiled.cycles[i] == node.cycles
+        assert compiled.names[i] == node.name
+
+
+def test_csr_walk_matches_children_by_parent():
+    trace = _rich_trace()
+    compiled = compile_trace(trace)
+    setup, by_input, by_node = trace.children_by_parent()
+    assert compiled.setup_children() == [n.node_id for n in setup]
+    for ordinal in range(trace.input_events):
+        assert compiled.input_children(ordinal) == [
+            n.node_id for n in by_input.get(ordinal, [])
+        ]
+    for node_id in range(len(trace.nodes)):
+        assert compiled.children_of(node_id) == [
+            n.node_id for n in by_node.get(node_id, [])
+        ]
+    # The walk is one flat array: every range indexes into it.
+    assert compiled.input_children(trace.input_events) == []
+
+
+def test_actions_fuse_payloads_and_children():
+    trace = _rich_trace()
+    compiled = compile_trace(trace)
+    tap = compiled.actions[3]
+    assert tap[0] == OP_TASK
+    assert tap[1] == 3
+    assert tap[2] == "tap"
+    assert tap[3] == 3e6 and isinstance(tap[3], float)
+    assert tap[4] == 0
+    # Children embed as the child nodes' own action tuples, in order.
+    assert tap[5] == [compiled.actions[4], compiled.actions[7]]
+    timer = compiled.actions[7]
+    assert timer == (OP_TIMER, 500, None)  # childless timer
+    assert compiled.actions[2] == (OP_INVALIDATE, 0)
+    assert compiled.actions[0] == (
+        OP_CHAIN_START, 7, "svc:poll", 40_000, 2.5e6, 1
+    )
+    assert compiled.actions[8] == (OP_CHAIN_STOP, 7)
+    assert compiled.setup_actions == [compiled.actions[0], compiled.actions[1]]
+    assert compiled.input_actions == [
+        [compiled.actions[3]],
+        [compiled.actions[8], compiled.actions[9]],
+    ]
+    # Dense guard list: recorded ordinals verbatim, the rest quiescent.
+    assert compiled.guards == [(), ()]
+
+
+def test_program_memoizes_compiled_form():
+    program = DemandProgram(_rich_trace())
+    assert program.compiled() is program.compiled()
+
+
+def test_make_executor_honours_kill_switch(monkeypatch):
+    program = DemandProgram(_rich_trace())
+    assert demand_compile_enabled()
+    assert isinstance(
+        make_executor(Device(), program), _CompiledExecutor
+    )
+    monkeypatch.setenv("REPRO_DEMAND_COMPILE", "0")
+    assert not demand_compile_enabled()
+    assert isinstance(
+        make_executor(Device(), program), _DemandExecutor
+    )
+
+
+def _random_trace(rng):
+    """A seeded random forest exercising every kind and nesting shape."""
+    nodes = []
+
+    def add(kind, **payload):
+        node = DemandNode(node_id=len(nodes), kind=kind, **payload)
+        nodes.append(node)
+        return node.node_id
+
+    chains = 0
+    if rng.random() < 0.5:
+        add(
+            KIND_CHAIN_START,
+            chain_key=0,
+            name="chain",
+            period_us=rng.randrange(20_000, 60_000),
+            cycles=float(rng.randrange(1, 5)) * 1e6,
+            priority=1,
+        )
+        chains = 1
+
+    def grow(parent, depth):
+        for _ in range(rng.randrange(0, 3)):
+            roll = rng.random()
+            if roll < 0.45:
+                child = add(
+                    KIND_TASK,
+                    parent=parent,
+                    name=f"t{len(nodes)}",
+                    cycles=float(rng.randrange(1, 8)) * 1e5,
+                    priority=rng.randrange(2),
+                )
+                if depth < 2:
+                    grow(child, depth + 1)
+            elif roll < 0.7:
+                add(KIND_INVALIDATE, parent=parent, state_id=rng.randrange(2))
+            else:
+                child = add(
+                    KIND_TIMER,
+                    parent=parent,
+                    delay_us=rng.randrange(0, 3_000),
+                )
+                if depth < 2:
+                    grow(child, depth + 1)
+
+    inputs = rng.randrange(1, 4)
+    for ordinal in range(inputs):
+        if chains and rng.random() < 0.2:
+            add(KIND_CHAIN_STOP, input_ordinal=ordinal, chain_key=0)
+        root = add(
+            KIND_TASK,
+            input_ordinal=ordinal,
+            name=f"in{ordinal}",
+            cycles=float(rng.randrange(1, 8)) * 1e5,
+            priority=0,
+        )
+        grow(root, 1)
+    return _trace(nodes, input_events=inputs)
+
+
+def _evaluate(cls, program, inputs):
+    """Run one executor over a real device with scripted input delivery.
+
+    Returns everything engine-observable: final sim time, events fired,
+    the screen state — or the fallback it raised, so a guard mismatch is
+    itself compared across the two executors.
+    """
+    device = Device()
+    executor = cls(device, program, False)
+    executor.run_setup()
+    device.set_governor("fixed:960000")
+    outcome = []
+
+    def deliver():
+        try:
+            executor.on_input(None)
+        except DemandFallback as exc:
+            outcome.append(str(exc))
+
+    for index in range(inputs):
+        device.engine.schedule_at(5_000 + index * 50_000, deliver)
+    device.run_for(inputs * 50_000 + 50_000)
+    return (
+        device.engine.now,
+        device.engine.events_fired,
+        executor.current_state,
+        outcome,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_compiled_walk_equals_interpreted_walk(seed):
+    import random
+
+    rng = random.Random(seed)
+    trace = _random_trace(rng)
+    program = DemandProgram(trace)
+    compiled = _evaluate(_CompiledExecutor, program, trace.input_events)
+    interpreted = _evaluate(_DemandExecutor, program, trace.input_events)
+    assert compiled == interpreted
+
+
+def test_compile_rejects_non_integer_payload():
+    nodes = [
+        DemandNode(node_id=0, kind=KIND_TIMER, delay_us=1_500),
+    ]
+    trace = _trace(nodes)
+    trace.nodes[0].delay_us = 1_500.5  # corrupt after validate
+    with pytest.raises(TypeError):
+        compile_trace(trace)

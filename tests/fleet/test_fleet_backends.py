@@ -332,3 +332,61 @@ def test_failures_cross_the_queue_with_their_tracebacks(
     assert failure.exc_type == "GovernorError"
     assert "Traceback" in failure.traceback_text
     assert engine.last_stats.executed == 1
+
+
+def test_ack_many_completes_a_batch_in_one_transaction(tmp_path):
+    specs = enumerate_sweep_specs("02", ["a"], 3, 2014)
+    queue = _queue(tmp_path)
+    queue.enqueue("run", _cells(specs))
+    queue.lease("run", "w0", batch=3, lease_s=30.0)
+    queue.ack_many(
+        "run",
+        [
+            (0, {"x": 0}, None, {"pid": 1}),
+            (2, None, {"exc_type": "Boom"}, {"pid": 1}),
+        ],
+    )
+    assert queue.counts("run") == {"done": 2, "leased": 1}
+    done = queue.done_cells("run", skip=set())
+    assert done == [
+        (0, {"x": 0}, None, {"pid": 1}),
+        (2, None, {"exc_type": "Boom"}, {"pid": 1}),
+    ]
+    # an empty batch is a no-op, and single ack delegates to the batch path
+    queue.ack_many("run", [])
+    queue.ack("run", 1, row={"x": 1}, failure=None, telemetry={})
+    assert queue.counts("run") == {"done": 3}
+
+
+def test_queue_runs_in_wal_mode_with_normal_sync(tmp_path):
+    """Durability posture: WAL journal (persisted in the db), NORMAL sync.
+
+    The queue is coordination-only — rows are published to the record
+    store *before* the ack — so losing the last ack transaction in a
+    power cut only re-dispatches work, never loses results.
+    """
+    queue = _queue(tmp_path)
+
+    def pragmas(conn):
+        return (
+            conn.execute("PRAGMA journal_mode").fetchone()[0],
+            conn.execute("PRAGMA synchronous").fetchone()[0],
+        )
+
+    journal, sync = queue._read(pragmas)
+    assert journal == "wal"
+    assert sync == 1  # NORMAL
+
+
+def test_batch_option_parses_and_validates(tmp_path):
+    backend = DistributedBackend.from_opts(
+        {"dir": str(tmp_path / "share"), "batch": "4"}
+    )
+    assert backend.batch == 4
+    assert "batch=4" in backend.describe()
+    with pytest.raises(ReproError, match="at least one"):
+        DistributedBackend(tmp_path / "share", batch=0)
+    with pytest.raises(ReproError):
+        DistributedBackend.from_opts(
+            {"dir": str(tmp_path / "share"), "batch": "-1"}
+        )

@@ -1,0 +1,59 @@
+"""IntPairs: array-backed storage, list semantics, lazy wire decode."""
+
+import pytest
+
+from repro.results.pairs import IntPairs
+
+ROWS = [[0, 300000], [1500, 960000], [9000, 652800]]
+
+
+def test_reads_like_a_list_of_tuples():
+    pairs = IntPairs([(0, 1), (2, 3)])
+    assert len(pairs) == 2
+    assert list(pairs) == [(0, 1), (2, 3)]
+    assert pairs[1] == (2, 3)
+    assert list(pairs.firsts()) == [0, 2]
+    assert list(pairs.seconds()) == [1, 3]
+    assert IntPairs([(0, 1), (2, 3)]) == pairs
+
+
+def test_from_lists_adopts_rows_without_decoding():
+    pairs = IntPairs.from_lists([list(row) for row in ROWS])
+    # Lazy: the raw wire rows are held, the arrays not yet built.
+    assert pairs._rows is not None
+    assert len(pairs) == len(ROWS)  # length needs no decode
+    assert pairs._rows is not None
+    # to_lists short-circuits straight off the wire form.
+    assert pairs.to_lists() == ROWS
+    assert pairs._rows is not None
+    # First element access materialises once and frees the raw rows.
+    assert pairs[0] == (0, 300000)
+    assert pairs._rows is None
+    assert list(pairs) == [tuple(row) for row in ROWS]
+
+
+def test_lazy_and_eager_forms_are_equal():
+    lazy = IntPairs.from_lists([list(row) for row in ROWS])
+    eager = IntPairs(tuple(row) for row in ROWS)
+    assert lazy == eager
+    assert lazy.to_lists() == eager.to_lists()
+
+
+def test_from_lists_on_non_list_falls_back_to_copy():
+    source = IntPairs([(1, 2)])
+    copied = IntPairs.from_lists(source)
+    assert copied == source
+    assert copied is not source
+
+
+def test_malformed_rows_raise_at_first_access_not_adoption():
+    pairs = IntPairs.from_lists([[1, 2], [3]])
+    with pytest.raises((ValueError, TypeError, IndexError)):
+        pairs[0]
+
+
+def test_from_arrays_round_trip():
+    source = IntPairs([(5, 6), (7, 8)])
+    rebuilt = IntPairs.from_arrays(source.firsts(), source.seconds())
+    assert rebuilt == source
+    assert rebuilt.to_lists() == [[5, 6], [7, 8]]
